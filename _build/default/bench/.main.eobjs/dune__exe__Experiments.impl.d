@@ -1,0 +1,1 @@
+bench/experiments.ml: Boltsim Buildsys Codegen Exec Float Fun Ir Layout Linker List Objfile Perfmon Printf Progen Propeller Report String Support Uarch Unix Workbench

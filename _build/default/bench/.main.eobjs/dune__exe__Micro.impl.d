@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Codegen Exec Hashtbl Instance Layout Lazy Linker List Measure Option Perfmon Printf Progen Propeller Report Staged Support Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/workbench.ml: Boltsim Buildsys Codegen Exec Hashtbl Ir Linker List Printf Progen Propeller Uarch

@@ -1,0 +1,56 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md 3 for the experiment index).
+
+   Usage: main.exe [experiment ...]
+   Experiments: table2 table3 table5 fig4 fig5 fig6 fig7 fig8 fig9 spec
+                ablation_split ablation_inter ablation_clusters micro
+                quick all (default: all) *)
+
+let experiments =
+  [
+    ("table2", Experiments.table2);
+    ("table3", Experiments.table3);
+    ("table5", Experiments.table5);
+    ("fig4", Experiments.fig4);
+    ("fig5", Experiments.fig5);
+    ("fig6", Experiments.fig6);
+    ("fig7", Experiments.fig7);
+    ("fig8", Experiments.fig8);
+    ("fig9", Experiments.fig9);
+    ("spec", Experiments.spec_sweep);
+    ("ablation_split", Experiments.ablation_split);
+    ("ablation_rounds", Experiments.ablation_rounds);
+    ("ablation_prefetch", Experiments.ablation_prefetch);
+    ("ablation_inter", Experiments.ablation_inter);
+    ("ablation_clusters", Experiments.ablation_clusters);
+    ("micro", Micro.run);
+  ]
+
+let quick () =
+  (* A fast sanity pass on the smallest benchmark only. *)
+  let wb = Workbench.get (Option.get (Progen.Suite.by_name "505.mcf")) in
+  Printf.printf "quick: mcf propeller %+.2f%%, bolt %+.2f%% vs base\n"
+    (Workbench.improvement_pct wb Workbench.Prop)
+    (Workbench.improvement_pct wb Workbench.Bolt)
+
+let run_one name =
+  match List.assoc_opt name experiments with
+  | Some f ->
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "\n[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
+  | None ->
+    if name = "quick" then quick ()
+    else begin
+      Printf.eprintf "unknown experiment %S; available: quick all %s\n" name
+        (String.concat " " (List.map fst experiments));
+      exit 2
+    end
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] || args = [ "all" ] then List.map fst experiments else args in
+  Printf.printf "Propeller reproduction bench (deterministic; seeds fixed)\n%!";
+  let t0 = Unix.gettimeofday () in
+  List.iter run_one args;
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,138 @@
+(* Bechamel micro-benchmarks for the core algorithms; one Test.make per
+   component, including the pqueue-vs-linear Ext-TSP retrieval ablation
+   the paper's 4.7 calls out. *)
+
+open Bechamel
+open Toolkit
+
+(* A synthetic hot CFG: chain with side exits and loops, [n] nodes. *)
+let synth_graph n =
+  let rng = Support.Rng.create 42L in
+  let sizes = Array.init n (fun _ -> 8 + Support.Rng.int rng 40) in
+  let weights = Array.init n (fun _ -> Support.Rng.float rng *. 1000.0) in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    edges := (i, i + 1, 500.0 +. Support.Rng.float rng *. 500.0) :: !edges;
+    if i mod 3 = 0 && i + 2 < n then
+      edges := (i, i + 2 + Support.Rng.int rng (n - i - 2), Support.Rng.float rng *. 80.0) :: !edges;
+    if i mod 7 = 0 && i > 4 then
+      edges := (i, i - 1 - Support.Rng.int rng 3, Support.Rng.float rng *. 300.0) :: !edges
+  done;
+  (sizes, weights, !edges)
+
+let exttsp_test name ~use_pqueue ~n =
+  let sizes, weights, edges = synth_graph n in
+  let params = { Layout.Exttsp.default_params with use_pqueue } in
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Layout.Exttsp.order ~params ~sizes ~weights ~edges ~entry:0 ())))
+
+let hfsort_test =
+  let n = 2000 in
+  let rng = Support.Rng.create 7L in
+  let sizes = Array.init n (fun _ -> 64 + Support.Rng.int rng 4000) in
+  let samples = Array.init n (fun _ -> Support.Rng.float rng *. 1.0e5) in
+  let arcs =
+    List.init (4 * n) (fun _ ->
+        (Support.Rng.int rng n, Support.Rng.int rng n, Support.Rng.float rng *. 100.0))
+  in
+  Test.make ~name:"hfsort_2000_funcs"
+    (Staged.stage (fun () -> ignore (Layout.Hfsort.order ~sizes ~samples ~arcs ())))
+
+let mcf_artifacts =
+  lazy
+    (let spec = Option.get (Progen.Suite.by_name "505.mcf") in
+     let program = Progen.Generate.program spec in
+     let objs =
+       Codegen.compile_program { Codegen.default_options with emit_bb_addr_map = true } program
+     in
+     let { Linker.Link.binary; _ } =
+       Linker.Link.link
+         ~options:{ Linker.Link.default_options with keep_bb_addr_map = true }
+         ~name:"mcf" ~entry:"main" objs
+     in
+     let image = Exec.Image.build program binary in
+     let profile = Perfmon.Lbr.create_profile () in
+     let (_ : Exec.Interp.stats) =
+       Exec.Interp.run image
+         { Exec.Interp.default_config with requests = 50 }
+         (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+     in
+     (program, objs, binary, image, profile))
+
+let link_test =
+  Test.make ~name:"link_relax_mcf"
+    (Staged.stage (fun () ->
+         let _, objs, _, _, _ = Lazy.force mcf_artifacts in
+         ignore (Linker.Link.link ~name:"mcf" ~entry:"main" objs)))
+
+let dcfg_test =
+  Test.make ~name:"dcfg_build_mcf"
+    (Staged.stage (fun () ->
+         let _, _, binary, _, profile = Lazy.force mcf_artifacts in
+         ignore (Propeller.Dcfg.build ~profile ~binary)))
+
+let wpa_test =
+  Test.make ~name:"wpa_analyze_mcf"
+    (Staged.stage (fun () ->
+         let _, _, binary, _, profile = Lazy.force mcf_artifacts in
+         ignore (Propeller.Wpa.analyze ~profile ~binary ())))
+
+let exec_test =
+  Test.make ~name:"exec_50_requests_mcf"
+    (Staged.stage (fun () ->
+         let _, _, _, image, _ = Lazy.force mcf_artifacts in
+         ignore
+           (Exec.Interp.run image
+              { Exec.Interp.default_config with requests = 50 }
+              Exec.Event.null)))
+
+let pqueue_test =
+  Test.make ~name:"pqueue_10k_ops"
+    (Staged.stage (fun () ->
+         let q = Support.Pqueue.create () in
+         let handles = Array.init 1000 (fun i -> Support.Pqueue.add q ~priority:(float_of_int (i * 7 mod 97)) i) in
+         Array.iteri
+           (fun i h -> if i mod 3 = 0 then Support.Pqueue.update q h ~priority:(float_of_int i))
+           handles;
+         let rec drain () = match Support.Pqueue.pop_max q with Some _ -> drain () | None -> () in
+         drain ()))
+
+let tests () =
+  [
+    exttsp_test "exttsp_pqueue_300" ~use_pqueue:true ~n:300;
+    exttsp_test "exttsp_linear_300" ~use_pqueue:false ~n:300;
+    exttsp_test "exttsp_pqueue_1000" ~use_pqueue:true ~n:1000;
+    exttsp_test "exttsp_linear_1000" ~use_pqueue:false ~n:1000;
+    hfsort_test;
+    pqueue_test;
+    link_test;
+    dcfg_test;
+    wpa_test;
+    exec_test;
+  ]
+
+let run () =
+  Report.print_title "Micro-benchmarks (bechamel; ns per run, OLS on monotonic clock)";
+  let instances = Instance.[ monotonic_clock ] in
+  (* stabilize=false: GC compaction between samples is prohibitively slow
+     when the workbench cache holds every benchmark's artifacts. *)
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+  in
+  let raw =
+    List.map (fun test -> Benchmark.all cfg instances test) (List.map (fun t -> t) (tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun results ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.one ols Instance.monotonic_clock { Benchmark.stats = result.Benchmark.stats; lr = result.lr; kde = result.kde } with
+          | ols_result -> (
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+            | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name))
+        results)
+    raw

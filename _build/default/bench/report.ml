@@ -1,0 +1,50 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+let hr width = String.make width '-'
+
+let print_title title =
+  Printf.printf "\n%s\n%s\n" title (hr (String.length title))
+
+let print_note fmt = Printf.printf fmt
+
+(* Render rows of fixed-width columns; widths derived from content. *)
+let print_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = widths.(i) - String.length cell in
+        if i = 0 then Printf.printf "%s%s" cell (String.make pad ' ')
+        else Printf.printf "  %s%s" (String.make pad ' ') cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  Printf.printf "%s\n" (hr (Array.fold_left ( + ) (2 * (cols - 1)) widths));
+  List.iter print_row rows
+
+let pct v = Printf.sprintf "%+.1f%%" v
+
+let pct2 v = Printf.sprintf "%+.2f%%" v
+
+let bytes v =
+  let f = float_of_int v in
+  if f >= 1.0e9 then Printf.sprintf "%.1f GB" (f /. 1.0e9)
+  else if f >= 1.0e6 then Printf.sprintf "%.0f MB" (f /. 1.0e6)
+  else if f >= 1.0e3 then Printf.sprintf "%.0f KB" (f /. 1.0e3)
+  else Printf.sprintf "%d B" v
+
+let count v =
+  let f = float_of_int v in
+  if f >= 1.0e6 then Printf.sprintf "%.1f M" (f /. 1.0e6)
+  else if f >= 1.0e3 then Printf.sprintf "%.0f K" (f /. 1.0e3)
+  else string_of_int v
+
+let seconds v =
+  if v >= 60.0 then Printf.sprintf "%.1f min" (v /. 60.0) else Printf.sprintf "%.1f s" v

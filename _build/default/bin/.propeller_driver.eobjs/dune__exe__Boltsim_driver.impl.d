@@ -1,0 +1,1 @@
+bin/boltsim_driver.ml: Arg Boltsim Buildsys Cmd Cmdliner Codegen Exec Ir Linker Perfmon Printf Progen Term

@@ -1,0 +1,1 @@
+bin/boltsim_driver.mli:

@@ -1,0 +1,1 @@
+bin/propeller_driver.ml: Arg Buildsys Cmd Cmdliner Codegen Exec Ir List Printf Progen Propeller String Support Term Uarch

@@ -1,0 +1,1 @@
+bin/propeller_driver.mli:

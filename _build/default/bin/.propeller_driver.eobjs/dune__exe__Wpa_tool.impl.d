@@ -1,0 +1,1 @@
+bin/wpa_tool.ml: Arg Buildsys Cmd Cmdliner Codegen Exec Linker Objfile Perfmon Printf Progen Propeller Term

@@ -1,0 +1,1 @@
+bin/wpa_tool.mli:

@@ -1,0 +1,102 @@
+(* propeller_driver: run the full Propeller pipeline on a named
+   benchmark and report sizes, phase costs and simulated performance.
+
+   dune exec bin/propeller_driver.exe -- --benchmark clang --requests 200 *)
+
+open Cmdliner
+
+let run benchmark requests interproc no_split hugepages prefetch verbose =
+  match Progen.Suite.by_name benchmark with
+  | None ->
+    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
+      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
+    exit 2
+  | Some spec ->
+    let spec = match requests with Some r -> { spec with Progen.Spec.requests = r } | None -> spec in
+    Printf.printf "generating %s (scale %d:1)...\n%!" spec.name spec.scale;
+    let program = Progen.Generate.program spec in
+    Printf.printf "  %d funcs, %d blocks, %d code bytes\n%!" (Ir.Program.num_funcs program)
+      (Ir.Program.num_blocks program) (Ir.Program.code_bytes program);
+    let env = Buildsys.Driver.make_env () in
+    let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
+    let config =
+      {
+        Propeller.Pipeline.default_config with
+        profile_run = { Exec.Interp.default_config with requests = spec.requests };
+        hugepages = hugepages || spec.hugepages;
+        prefetch;
+        wpa =
+          {
+            Propeller.Wpa.default_config with
+            mode = (if interproc then Propeller.Wpa.Interproc else Propeller.Wpa.Intra);
+            split_functions = not no_split;
+          };
+      }
+    in
+    let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+    Printf.printf "phase 2 (metadata build): %.1fs wall\n" result.times.metadata_build_s;
+    Printf.printf "phase 3 (profile + WPA): %d samples, %d hot funcs, %.1fs, peak %.2f GB\n"
+      result.profile.num_samples result.wpa.hot_funcs result.times.conversion_s
+      (float_of_int result.wpa.peak_mem_bytes /. 1.0e9);
+    Printf.printf "phase 4 (relink): %d/%d objects re-generated, %.1fs wall\n"
+      result.hot_objects result.total_objects result.times.optimize_build_s;
+    (match result.prefetch with
+    | Some p ->
+      Printf.printf "prefetch (3.5): %d insertion sites covering %d/%d sampled misses\n"
+        (List.length p.sites) p.covered_misses p.sampled_misses
+    | None -> ());
+    if verbose then begin
+      print_endline "--- cc_prof.txt ---";
+      print_string (Codegen.Directive.to_text result.wpa.plans);
+      print_endline "--- ld_prof.txt ---";
+      List.iter print_endline result.wpa.ordering
+    end;
+    let measure binary =
+      let image = Exec.Image.build program binary in
+      let core =
+        Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
+      in
+      let (_ : Exec.Interp.stats) =
+        Exec.Interp.run image
+          { Exec.Interp.default_config with requests = spec.requests }
+          (Uarch.Core.sink core)
+      in
+      Uarch.Core.counters core
+    in
+    let cb = measure base.binary in
+    let cp = measure (Propeller.Pipeline.optimized_binary result) in
+    Printf.printf "performance: baseline %.3e cycles -> propeller %.3e cycles (%+.2f%%)\n"
+      cb.cycles cp.cycles
+      ((cb.cycles -. cp.cycles) /. cb.cycles *. 100.0);
+    Printf.printf "counters vs baseline: L1i %+.0f%%  iTLB %+.0f%%  taken-branches %+.0f%%\n"
+      (Support.Stats.ratio_pct (float_of_int cp.i1_l1i_miss) (float_of_int cb.i1_l1i_miss))
+      (Support.Stats.ratio_pct (float_of_int cp.t1_itlb_miss) (float_of_int cb.t1_itlb_miss))
+      (Support.Stats.ratio_pct
+         (float_of_int cp.b2_taken_branches)
+         (float_of_int cb.b2_taken_branches))
+
+let benchmark =
+  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
+
+let requests =
+  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests.")
+
+let interproc =
+  Arg.(value & flag & info [ "interproc" ] ~doc:"Inter-procedural layout (paper 4.7).")
+
+let no_split = Arg.(value & flag & info [ "no-split" ] ~doc:"Disable hot/cold splitting.")
+
+let hugepages = Arg.(value & flag & info [ "hugepages" ] ~doc:"Map text with 2M pages.")
+
+let prefetch =
+  Arg.(value & flag & info [ "prefetch" ] ~doc:"Software prefetch insertion (paper 3.5).")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump cc_prof/ld_prof.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
+    Term.(
+      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ verbose)
+
+let () = exit (Cmd.eval cmd)

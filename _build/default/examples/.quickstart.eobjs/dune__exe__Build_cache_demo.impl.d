@@ -1,0 +1,1 @@
+examples/build_cache_demo.ml: Buildsys Exec List Printf Progen Propeller

@@ -1,0 +1,1 @@
+examples/clang_pipeline.ml: Boltsim Buildsys Codegen Exec Ir Linker List Printf Progen Propeller Uarch

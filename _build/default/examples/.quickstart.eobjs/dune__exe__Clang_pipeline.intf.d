@@ -1,0 +1,1 @@
+examples/clang_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buildsys Codegen Exec Ir Isa Linker List Objfile Printf Propeller Uarch

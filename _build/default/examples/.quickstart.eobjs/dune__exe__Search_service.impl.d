@@ -1,0 +1,1 @@
+examples/search_service.ml: Buildsys Exec Linker List Printf Progen Propeller Support Uarch

@@ -1,0 +1,1 @@
+lib/boltsim/costmodel.mli:

@@ -1,0 +1,1 @@
+lib/boltsim/driver.ml: Array Costmodel Hashtbl Layout Linker List Perfmon Propeller Rewrite String

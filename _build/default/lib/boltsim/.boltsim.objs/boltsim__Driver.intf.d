@@ -1,0 +1,1 @@
+lib/boltsim/driver.mli: Linker Perfmon

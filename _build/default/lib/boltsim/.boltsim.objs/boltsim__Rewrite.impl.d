@@ -1,0 +1,1 @@
+lib/boltsim/rewrite.ml: Hashtbl Isa Linker List Objfile String

@@ -1,0 +1,1 @@
+lib/boltsim/rewrite.mli: Linker

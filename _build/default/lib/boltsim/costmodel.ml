@@ -1,0 +1,23 @@
+(* Disassembled instruction objects (MCPlus) cost ~100 B per code byte
+   decoded at ~8 B/inst: about 110x the text bytes across conversion
+   (matches Fig 4: Superroot 598 MB text -> 73 GB; Search 413 MB ->
+   36 GB). *)
+let conversion_mem ~text_bytes ~profile_bytes =
+  (300 * 1024 * 1024) + (110 * text_bytes) + (profile_bytes / 4)
+
+let conversion_seconds ~text_bytes ~profile_edges =
+  5.0 +. (float_of_int text_bytes /. 2_500_000.0) +. (float_of_int profile_edges /. 200_000.0)
+
+(* Optimization keeps decoded functions plus relocation and output
+   buffers; lite mode only fully decodes hot functions. *)
+let optimize_mem ~text_bytes ~hot_text_bytes ~lite =
+  let decoded = if lite then (8 * text_bytes) + (60 * hot_text_bytes) else 45 * text_bytes in
+  (250 * 1024 * 1024) + decoded + (2 * text_bytes)
+
+let optimize_seconds ~text_bytes ~hot_text_bytes ~lite =
+  let decode =
+    if lite then
+      (float_of_int text_bytes /. 8_000_000.0) +. (float_of_int hot_text_bytes /. 2_000_000.0)
+    else float_of_int text_bytes /. 2_000_000.0
+  in
+  3.0 +. decode +. (float_of_int text_bytes /. 6_000_000.0 (* emit + rewrite *))

@@ -1,0 +1,25 @@
+(** Resource model of the monolithic binary-optimizer design.
+
+    The driver is function-oriented linear disassembly: the whole text
+    section is decoded into in-memory instruction objects before any
+    optimization runs (paper §5.1: "BOLT's memory usage is much higher
+    due to function-oriented, linear disassembly"), so both phases are
+    proportional to *binary* size, not profile size. Lightning-BOLT's
+    selective processing ([lite]) decodes hot functions fully and cold
+    functions shallowly. Constants calibrated against Fig 4/5/9
+    shapes. *)
+
+(** [conversion_mem ~text_bytes ~profile_bytes] — perf2bolt peak RSS. *)
+val conversion_mem : text_bytes:int -> profile_bytes:int -> int
+
+(** [conversion_seconds ~text_bytes ~profile_edges] — perf2bolt time. *)
+val conversion_seconds : text_bytes:int -> profile_edges:int -> float
+
+(** [optimize_mem ~text_bytes ~hot_text_bytes ~lite] — llvm-bolt peak
+    RSS during optimization + rewrite. *)
+val optimize_mem : text_bytes:int -> hot_text_bytes:int -> lite:bool -> int
+
+(** [optimize_seconds ~text_bytes ~hot_text_bytes ~lite] — llvm-bolt
+    wall time (single machine; parallel passes modelled by a constant
+    speedup). *)
+val optimize_seconds : text_bytes:int -> hot_text_bytes:int -> lite:bool -> float

@@ -1,0 +1,114 @@
+type options = {
+  lite : bool;
+  reorder_blocks : bool;
+  reorder_functions : bool;
+  split_functions : bool;
+  peephole : bool;
+}
+
+let fast_options =
+  { lite = true; reorder_blocks = true; reorder_functions = true; split_functions = true;
+    peephole = false }
+
+let perf_options = { fast_options with lite = false; peephole = true }
+
+type hazards = { rseq : bool; fips_check : bool }
+
+let no_hazards = { rseq = false; fips_check = false }
+
+type result = {
+  binary : Linker.Binary.t;
+  startup_ok : bool;
+  rewritten_funcs : int;
+  skipped_funcs : int;
+  conversion_mem_bytes : int;
+  conversion_seconds : float;
+  optimize_mem_bytes : int;
+  optimize_seconds : float;
+}
+
+let optimize ?(options = perf_options) ~profile ~(binary : Linker.Binary.t) ~is_asm ~hazards
+    ~name () =
+  (* "perf2bolt": disassemble and aggregate the profile against the
+     reconstructed CFG. *)
+  let dcfg = Propeller.Dcfg.build_of_blocks ~profile ~binary in
+  let hot = Propeller.Dcfg.hot_funcs dcfg in
+  let skipped = ref 0 in
+  let plans =
+    List.filter_map
+      (fun (d : Propeller.Dcfg.dfunc) ->
+        if is_asm d.dname then begin
+          incr skipped;
+          None
+        end
+        else begin
+          let hot_order, _score =
+            if options.reorder_blocks then Propeller.Wpa.block_layout dcfg d
+            else
+              ( (let bbs = Hashtbl.fold (fun bb _ acc -> bb :: acc) d.dblocks [] in
+                 List.sort_uniq compare (0 :: bbs)),
+                0.0 )
+          in
+          (* All blocks the binary has for this function. *)
+          let all = ref [] in
+          Hashtbl.iter
+            (fun (f, bb) (_ : Linker.Binary.block_info) ->
+              if String.equal f d.dname then all := bb :: !all)
+            binary.blocks;
+          let rest =
+            List.sort_uniq compare !all |> List.filter (fun bb -> not (List.mem bb hot_order))
+          in
+          if options.split_functions then Some (d.dname, hot_order, rest)
+          else Some (d.dname, hot_order @ rest, [])
+        end)
+      hot
+  in
+  let func_order =
+    if options.reorder_functions then begin
+      let names = Array.of_list (List.map (fun (f, _, _) -> f) plans) in
+      let name_idx = Hashtbl.create 64 in
+      Array.iteri (fun i nm -> Hashtbl.replace name_idx nm i) names;
+      let fsizes =
+        Array.map
+          (fun nm ->
+            let d = Hashtbl.find dcfg.funcs nm in
+            Hashtbl.fold (fun _ (b : Propeller.Dcfg.mblock) acc -> acc + b.msize) d.dblocks 0)
+          names
+      in
+      let fsamples =
+        Array.map (fun nm -> float_of_int (Hashtbl.find dcfg.funcs nm).dsamples) names
+      in
+      let arcs =
+        Propeller.Dcfg.func_arcs dcfg
+        |> List.filter_map (fun (a, b, w) ->
+               match Hashtbl.find_opt name_idx a, Hashtbl.find_opt name_idx b with
+               | Some ai, Some bi -> Some (ai, bi, w)
+               | None, _ | _, None -> None)
+      in
+      Layout.Hfsort.order ~sizes:fsizes ~samples:fsamples ~arcs ()
+      |> List.map (fun i -> names.(i))
+    end
+    else List.map (fun (f, _, _) -> f) plans
+  in
+  let rw = Rewrite.rewrite ~binary ~plans ~func_order ~peephole:options.peephole ~name in
+  let text_bytes = Linker.Binary.text_bytes binary in
+  let hot_text_bytes =
+    List.fold_left
+      (fun acc (d : Propeller.Dcfg.dfunc) ->
+        Hashtbl.fold (fun _ (b : Propeller.Dcfg.mblock) a -> a + b.msize) d.dblocks acc)
+      0 hot
+  in
+  let profile_bytes = Perfmon.Lbr.raw_bytes Perfmon.Lbr.default_config profile in
+  {
+    binary = rw.binary;
+    startup_ok = not (hazards.rseq || hazards.fips_check);
+    rewritten_funcs = rw.rewritten_funcs;
+    skipped_funcs = !skipped;
+    conversion_mem_bytes = Costmodel.conversion_mem ~text_bytes ~profile_bytes;
+    conversion_seconds =
+      Costmodel.conversion_seconds ~text_bytes
+        ~profile_edges:(Perfmon.Lbr.distinct_edges profile);
+    optimize_mem_bytes = Costmodel.optimize_mem ~text_bytes ~hot_text_bytes ~lite:options.lite;
+    optimize_seconds =
+      Costmodel.optimize_seconds ~text_bytes ~hot_text_bytes ~lite:options.lite;
+  }

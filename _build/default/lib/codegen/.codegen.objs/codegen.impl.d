@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Directive Fun Inline Ir Layout List Lower Objfile String

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Directive Inline Ir Lower Objfile

@@ -1,0 +1,1 @@
+lib/codegen/directive.ml: Buffer Hashtbl List Objfile Option Printf String

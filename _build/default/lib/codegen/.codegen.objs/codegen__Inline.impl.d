@@ -1,0 +1,1 @@
+lib/codegen/inline.ml: Array Int64 Ir List String Support

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Directive Fun Hashtbl Ir Isa List Objfile

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Directive Ir Isa Objfile

@@ -1,0 +1,110 @@
+type kind = Primary | Cold | Extra of int
+
+type cluster = { kind : kind; blocks : int list }
+
+type func_plan = { func : string; clusters : cluster list }
+
+type t = func_plan list
+
+let symbol func c =
+  match c.kind with
+  | Primary -> Objfile.Symname.primary func
+  | Cold -> Objfile.Symname.cold func
+  | Extra n -> Objfile.Symname.cluster func n
+
+let validate ~num_blocks plan =
+  let seen = Hashtbl.create 16 in
+  let primaries = List.filter (fun c -> c.kind = Primary) plan.clusters in
+  let check_cluster c =
+    List.fold_left
+      (fun acc b ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () ->
+          if b < 0 || b >= num_blocks then
+            Error (Printf.sprintf "%s: block %d out of range" plan.func b)
+          else if Hashtbl.mem seen b then
+            Error (Printf.sprintf "%s: block %d in two clusters" plan.func b)
+          else begin
+            Hashtbl.add seen b ();
+            Ok ()
+          end)
+      (Ok ()) c.blocks
+  in
+  match primaries with
+  | [ p ] -> (
+    match p.blocks with
+    | 0 :: _ ->
+      List.fold_left
+        (fun acc c -> match acc with Error _ as e -> e | Ok () -> check_cluster c)
+        (Ok ()) plan.clusters
+    | [] -> Error (Printf.sprintf "%s: empty primary cluster" plan.func)
+    | b :: _ -> Error (Printf.sprintf "%s: primary cluster starts with block %d, not 0" plan.func b))
+  | [] -> Error (Printf.sprintf "%s: no primary cluster" plan.func)
+  | _ :: _ :: _ -> Error (Printf.sprintf "%s: multiple primary clusters" plan.func)
+
+let find t func = List.find_opt (fun p -> String.equal p.func func) t
+
+let kind_to_text = function Primary -> "primary" | Cold -> "cold" | Extra n -> string_of_int n
+
+let kind_of_text = function
+  | "primary" -> Ok Primary
+  | "cold" -> Ok Cold
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (Extra n)
+    | Some _ | None -> Error (Printf.sprintf "bad cluster kind %S" s))
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf ("!" ^ p.func ^ "\n");
+      List.iter
+        (fun c ->
+          Buffer.add_string buf ("!!" ^ kind_to_text c.kind);
+          List.iter (fun b -> Buffer.add_string buf (" " ^ string_of_int b)) c.blocks;
+          Buffer.add_char buf '\n')
+        p.clusters)
+    t;
+  Buffer.contents buf
+
+let of_text s =
+  let lines = String.split_on_char '\n' s in
+  let finish cur acc =
+    match cur with
+    | None -> acc
+    | Some (func, clusters) -> { func; clusters = List.rev clusters } :: acc
+  in
+  let rec loop cur acc = function
+    | [] -> Ok (List.rev (finish cur acc))
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then loop cur acc rest
+      else if String.length line >= 2 && String.sub line 0 2 = "!!" then begin
+        match cur with
+        | None -> Error "cluster line before any function line"
+        | Some (func, clusters) -> (
+          let parts =
+            String.split_on_char ' ' (String.sub line 2 (String.length line - 2))
+            |> List.filter (fun x -> x <> "")
+          in
+          match parts with
+          | [] -> Error "empty cluster line"
+          | kind_text :: blocks_text -> (
+            match kind_of_text kind_text with
+            | Error e -> Error e
+            | Ok kind -> (
+              let blocks = List.map int_of_string_opt blocks_text in
+              if List.exists Option.is_none blocks then
+                Error (Printf.sprintf "bad block id in %S" line)
+              else
+                let blocks = List.map Option.get blocks in
+                loop (Some (func, { kind; blocks } :: clusters)) acc rest)))
+      end
+      else if line.[0] = '!' then
+        let acc = finish cur acc in
+        loop (Some (String.sub line 1 (String.length line - 1), [])) acc rest
+      else Error (Printf.sprintf "unparsable line %S" line)
+  in
+  loop None [] lines

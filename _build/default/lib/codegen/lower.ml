@@ -1,0 +1,132 @@
+let lower_inst ?(prefetch = false) (i : Ir.Inst.t) : Isa.t list =
+  match i with
+  | Ir.Inst.Compute n -> [ Isa.Alu n ]
+  | Ir.Inst.MemLoad n -> [ Isa.Load n ]
+  | Ir.Inst.DelinquentLoad { bytes; _ } ->
+    if prefetch then [ Isa.Prefetch; Isa.Load bytes ] else [ Isa.Load bytes ]
+  | Ir.Inst.MemStore n -> [ Isa.Store n ]
+  | Ir.Inst.DirectCall f -> [ Isa.Call (Isa.Target.Func f) ]
+  | Ir.Inst.VirtualCall _ -> [ Isa.IndirectCall ]
+  | Ir.Inst.JumpTableData n -> [ Isa.InlineData n ]
+
+let lower_term ~func (t : Ir.Term.t) : Isa.t list =
+  let blk block = Isa.Target.Block { func; block } in
+  match t with
+  | Ir.Term.Jump target -> [ Isa.Jmp { target = blk target; encoding = Isa.Long } ]
+  | Ir.Term.Branch { cond; taken; fallthrough; _ } ->
+    [
+      Isa.Jcc { cond; target = blk taken; encoding = Isa.Long };
+      Isa.Jmp { target = blk fallthrough; encoding = Isa.Long };
+    ]
+  | Ir.Term.Switch _ ->
+    (* Index check + table load + indirect dispatch. *)
+    [ Isa.Alu 4; Isa.Load 7; Isa.IndirectJmp ]
+  | Ir.Term.Return -> [ Isa.Ret ]
+
+let lower_block ?(prefetch = false) ~func (b : Ir.Block.t) =
+  List.concat_map (lower_inst ~prefetch) b.body @ lower_term ~func b.term
+
+(* Worst-case (pre-relaxation) lowered size, computed without building
+   the instruction list: body bytes plus the long-form terminator. *)
+let term_bytes = function
+  | Ir.Term.Jump _ -> Isa.jmp_size Isa.Long
+  | Ir.Term.Branch _ -> Isa.jcc_size Isa.Long + Isa.jmp_size Isa.Long
+  | Ir.Term.Switch _ -> 4 + 7 + 3
+  | Ir.Term.Return -> 1
+
+let block_code_bytes (b : Ir.Block.t) = Ir.Block.body_bytes b + term_bytes b.term
+
+let can_fallthrough (b : Ir.Block.t) =
+  match b.term with
+  | Ir.Term.Branch _ | Ir.Term.Jump _ -> true
+  | Ir.Term.Switch _ | Ir.Term.Return -> false
+
+let section_name symbol = ".text." ^ symbol
+
+let cluster_section ?(prefetch_blocks = []) (f : Ir.Func.t) ~symbol blocks =
+  let pieces =
+    List.map
+      (fun bid ->
+        let b = Ir.Func.block f bid in
+        {
+          Objfile.Fragment.block = bid;
+          insts = lower_block ~prefetch:(List.mem bid prefetch_blocks) ~func:f.name b;
+          is_landing_pad = b.is_landing_pad;
+        })
+      blocks
+  in
+  (* The C++ ABI requires non-zero landing pad offsets relative to
+     @LPStart: pad when the section itself begins with a landing pad
+     (paper §4.5). *)
+  let pieces =
+    match pieces with
+    | first :: rest when first.is_landing_pad ->
+      { first with insts = Isa.Nop 1 :: first.insts } :: rest
+    | _ -> pieces
+  in
+  let frag = Objfile.Fragment.make ~func:f.name pieces in
+  Objfile.Section.make ~name:(section_name symbol) ~kind:Objfile.Section.Text ~symbol
+    (Objfile.Section.Code frag)
+
+let bbmap_of_sections (f : Ir.Func.t) sections =
+  let func_maps =
+    List.filter_map
+      (fun (s : Objfile.Section.t) ->
+        match s.contents, s.symbol with
+        | Objfile.Section.Code frag, Some sym ->
+          let entries =
+            List.map
+              (fun ((p : Objfile.Fragment.piece), off) ->
+                let b = Ir.Func.block f p.block in
+                {
+                  Objfile.Bbmap.bb_id = p.block;
+                  offset = off;
+                  size = List.fold_left (fun acc i -> acc + Isa.size i) 0 p.insts;
+                  can_fallthrough = can_fallthrough b;
+                  is_landing_pad = p.is_landing_pad;
+                })
+              (Objfile.Fragment.piece_offsets frag)
+          in
+          Some { Objfile.Bbmap.func = sym; entries }
+        | (Objfile.Section.Code _ | Objfile.Section.Map _ | Objfile.Section.Raw _), _ -> None)
+      sections
+  in
+  Objfile.Section.make
+    ~name:(".llvm_bb_addr_map." ^ f.name)
+    ~kind:Objfile.Section.Bb_addr_map ~align:1
+    (Objfile.Section.Map func_maps)
+
+let lower_func ~emit_bb_addr_map ~plan ~default_order ?(prefetch_blocks = []) (f : Ir.Func.t) =
+  let texts =
+    match plan with
+    | None ->
+      [ cluster_section ~prefetch_blocks f ~symbol:(Objfile.Symname.primary f.name) default_order ]
+    | Some (p : Directive.func_plan) -> (
+      match Directive.validate ~num_blocks:(Ir.Func.num_blocks f) p with
+      | Error msg -> invalid_arg ("Lower.lower_func: " ^ msg)
+      | Ok () ->
+        let listed = Hashtbl.create 16 in
+        List.iter (fun (c : Directive.cluster) -> List.iter (fun b -> Hashtbl.replace listed b ()) c.blocks) p.clusters;
+        let leftovers =
+          List.init (Ir.Func.num_blocks f) Fun.id
+          |> List.filter (fun b -> not (Hashtbl.mem listed b))
+        in
+        let has_cold_cluster =
+          List.exists (fun (c : Directive.cluster) -> c.kind = Directive.Cold) p.clusters
+        in
+        let clusters =
+          if leftovers = [] then p.clusters
+          else if has_cold_cluster then
+            (* Fold unlisted blocks into the existing cold cluster. *)
+            List.map
+              (fun (c : Directive.cluster) ->
+                if c.kind = Directive.Cold then { c with blocks = c.blocks @ leftovers } else c)
+              p.clusters
+          else p.clusters @ [ { Directive.kind = Directive.Cold; blocks = leftovers } ]
+        in
+        List.map
+          (fun (c : Directive.cluster) ->
+            cluster_section ~prefetch_blocks f ~symbol:(Directive.symbol f.name c) c.blocks)
+          clusters)
+  in
+  if emit_bb_addr_map then texts @ [ bbmap_of_sections f texts ] else texts

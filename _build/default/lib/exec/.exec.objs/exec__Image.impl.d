@@ -1,0 +1,1 @@
+lib/exec/image.ml: Array Hashtbl Ir Isa Linker List Printf

@@ -1,0 +1,1 @@
+lib/exec/image.mli: Ir Linker

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Event Image Ir List Support

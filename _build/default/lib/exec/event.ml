@@ -1,0 +1,36 @@
+type branch_kind = Cond | Uncond | Indirect | Call | Ret
+
+type sink = {
+  on_fetch : int -> int -> int -> unit;
+  on_branch : src:int -> dst:int -> kind:branch_kind -> taken:bool -> unit;
+  on_dmiss : src:int -> unit;
+  on_request : int -> unit;
+}
+
+let null =
+  {
+    on_fetch = (fun _ _ _ -> ());
+    on_branch = (fun ~src:_ ~dst:_ ~kind:_ ~taken:_ -> ());
+    on_dmiss = (fun ~src:_ -> ());
+    on_request = (fun _ -> ());
+  }
+
+let tee a b =
+  {
+    on_fetch =
+      (fun addr len insts ->
+        a.on_fetch addr len insts;
+        b.on_fetch addr len insts);
+    on_branch =
+      (fun ~src ~dst ~kind ~taken ->
+        a.on_branch ~src ~dst ~kind ~taken;
+        b.on_branch ~src ~dst ~kind ~taken);
+    on_dmiss =
+      (fun ~src ->
+        a.on_dmiss ~src;
+        b.on_dmiss ~src);
+    on_request =
+      (fun i ->
+        a.on_request i;
+        b.on_request i);
+  }

@@ -1,0 +1,33 @@
+(** Events emitted by the execution engine.
+
+    The engine streams two kinds of events — sequential instruction
+    fetches and control transfers — so downstream consumers (LBR
+    sampler, micro-architecture simulator, heat-map builder) never need
+    the whole trace in memory. *)
+
+type branch_kind =
+  | Cond  (** Conditional branch (emitted for taken and not-taken). *)
+  | Uncond  (** Unconditional direct jump. *)
+  | Indirect  (** Jump-table dispatch. *)
+  | Call  (** Direct or indirect call. *)
+  | Ret
+
+type sink = {
+  on_fetch : int -> int -> int -> unit;
+      (** [on_fetch addr len insts]: [len] code bytes holding [insts]
+          instructions executed sequentially starting at [addr]. *)
+  on_branch : src:int -> dst:int -> kind:branch_kind -> taken:bool -> unit;
+      (** A control transfer instruction retiring at [src] (its end
+          address), heading to [dst]. [taken = false] only for
+          fall-through conditionals ([dst] is then the next address). *)
+  on_dmiss : src:int -> unit;
+      (** A delinquent load retiring at [src] missed the data caches
+          (not covered by a software prefetch). *)
+  on_request : int -> unit;  (** Request [i] completed. *)
+}
+
+(** A sink that ignores everything. *)
+val null : sink
+
+(** [tee a b] duplicates events to both sinks. *)
+val tee : sink -> sink -> sink

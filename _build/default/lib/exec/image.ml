@@ -1,0 +1,136 @@
+type op =
+  | Run of int * int * int
+  | Do_call of { site_end : int; callees : (string * float) array }
+  | Do_dload of { site_end : int; miss_prob : float; covered : bool }
+
+type xblock = { addr : int; size : int; ops : op list; term : Ir.Term.t; uid : int }
+
+type t = {
+  funcs : (string, int) Hashtbl.t;
+  blocks : xblock array array;  (** [blocks.(func_idx).(block_id)] *)
+  entry : int;
+}
+
+(* Fuse the lowered instructions (with final sizes) and the IR body:
+   non-control bytes accumulate into Run segments; calls close the
+   current segment. The k-th call instruction corresponds to the k-th
+   call site of the IR body, which supplies virtual-call targets. *)
+let compile_ops (ir_block : Ir.Block.t) (insts : Isa.t list) =
+  let ir_calls =
+    List.filter_map
+      (fun (i : Ir.Inst.t) ->
+        match i with
+        | Ir.Inst.DirectCall f -> Some [| (f, 1.0) |]
+        | Ir.Inst.VirtualCall { callees } -> Some callees
+        | Ir.Inst.Compute _ | Ir.Inst.MemLoad _ | Ir.Inst.DelinquentLoad _
+        | Ir.Inst.MemStore _ | Ir.Inst.JumpTableData _ -> None)
+      ir_block.body
+  in
+  (* The k-th lowered [Load] corresponds to the k-th IR load; delinquent
+     ones carry their miss probability. *)
+  let ir_loads =
+    List.filter_map
+      (fun (i : Ir.Inst.t) ->
+        match i with
+        | Ir.Inst.MemLoad _ -> Some None
+        | Ir.Inst.DelinquentLoad { miss_prob; _ } -> Some (Some miss_prob)
+        | Ir.Inst.Compute _ | Ir.Inst.MemStore _ | Ir.Inst.DirectCall _ | Ir.Inst.VirtualCall _
+        | Ir.Inst.JumpTableData _ -> None)
+      ir_block.body
+  in
+  let rec loop off run_start nrun pending_calls pending_loads ~saw_prefetch acc = function
+    | [] ->
+      let acc = if off > run_start then Run (run_start, off - run_start, nrun) :: acc else acc in
+      List.rev acc
+    | inst :: rest -> (
+      let size = Isa.size inst in
+      match inst with
+      | Isa.Load _ -> (
+        match pending_loads with
+        | Some miss_prob :: pending ->
+          (* Delinquent load: close the run so the miss event lands at
+             the right instruction boundary. *)
+          let acc =
+            if off + size > run_start then Run (run_start, off + size - run_start, nrun + 1) :: acc
+            else acc
+          in
+          loop (off + size) (off + size) 0 pending_calls pending
+            ~saw_prefetch
+            (Do_dload { site_end = off + size; miss_prob; covered = saw_prefetch } :: acc)
+            rest
+        | None :: pending ->
+          loop (off + size) run_start (nrun + 1) pending_calls pending ~saw_prefetch acc rest
+        | [] -> loop (off + size) run_start (nrun + 1) pending_calls [] ~saw_prefetch acc rest)
+      | Isa.Prefetch ->
+        loop (off + size) run_start (nrun + 1) pending_calls pending_loads ~saw_prefetch:true acc
+          rest
+      | Isa.Call _ | Isa.IndirectCall -> (
+        let acc =
+          if off > run_start then Run (run_start, off - run_start, nrun + 1) :: acc else acc
+        in
+        match pending_calls with
+        | callees :: pending ->
+          loop (off + size) (off + size) 0 pending pending_loads ~saw_prefetch
+            (Do_call { site_end = off + size; callees } :: acc)
+            rest
+        | [] ->
+          (* A lowered call with no IR counterpart cannot happen by
+             construction. *)
+          assert false)
+      | Isa.InlineData _ ->
+        (* Data in the instruction stream: occupies space, not fetched. *)
+        let acc =
+          if off > run_start then Run (run_start, off - run_start, nrun) :: acc else acc
+        in
+        loop (off + size) (off + size) 0 pending_calls pending_loads ~saw_prefetch acc rest
+      | Isa.Jcc _ | Isa.Jmp _ | Isa.IndirectJmp | Isa.Ret ->
+        (* Terminator instructions count as fetched bytes; the transfer
+           itself is driven by the IR terminator. *)
+        loop (off + size) run_start (nrun + 1) pending_calls pending_loads ~saw_prefetch acc rest
+      | Isa.Alu _ | Isa.Store _ | Isa.Nop _ ->
+        loop (off + size) run_start (nrun + 1) pending_calls pending_loads ~saw_prefetch acc rest)
+  in
+  loop 0 0 0 ir_calls ir_loads ~saw_prefetch:false [] insts
+
+let build program binary =
+  let nf = Ir.Program.num_funcs program in
+  let funcs = Hashtbl.create nf in
+  let blocks = Array.make nf [||] in
+  let uid = ref 0 in
+  let idx = ref 0 in
+  Ir.Program.iter_funcs program (fun f ->
+      let fi = !idx in
+      incr idx;
+      Hashtbl.replace funcs f.name fi;
+      blocks.(fi) <-
+        Array.init (Ir.Func.num_blocks f) (fun b ->
+            let info =
+              match Linker.Binary.block_info binary ~func:f.name ~block:b with
+              | Some i -> i
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Image.build: block %s#%d not in binary" f.name b)
+            in
+            let ir_block = Ir.Func.block f b in
+            incr uid;
+            {
+              addr = info.addr;
+              size = info.size;
+              ops = compile_ops ir_block info.insts;
+              term = ir_block.term;
+              uid = !uid;
+            }));
+  { funcs; blocks; entry = Hashtbl.find funcs (Ir.Program.main program) }
+
+let func_index t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some i -> i
+  | None -> invalid_arg ("Image.func_index: unknown function " ^ name)
+
+let block t ~func_idx ~block = t.blocks.(func_idx).(block)
+
+let entry_func t = t.entry
+
+let num_funcs t = Array.length t.blocks
+
+let num_blocks t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.blocks

@@ -1,0 +1,48 @@
+(** Executable image: the IR program fused with the linked binary's
+    final addresses, precompiled for fast interpretation.
+
+    For each basic block the image stores the fetch segments (inline
+    data excluded — it occupies space but is never executed), the call
+    sites with their end offsets, and the terminator. Control-flow
+    decisions are *not* stored: they are made by the interpreter from
+    stateless hashes so that the logical trace is identical across
+    layouts of the same program. *)
+
+type op =
+  | Run of int * int * int
+      (** [(offset, len, insts)]: sequential code, instruction count
+          included for retirement accounting. *)
+  | Do_call of { site_end : int; callees : (string * float) array }
+      (** Call retiring at block offset [site_end]; a single-entry
+          [callees] array is a direct call. *)
+  | Do_dload of { site_end : int; miss_prob : float; covered : bool }
+      (** Delinquent load; [covered] when a software prefetch precedes
+          it in the same block (paper §3.5). *)
+
+type xblock = {
+  addr : int;
+  size : int;
+  ops : op list;
+  term : Ir.Term.t;
+  uid : int;  (** Globally unique id; feeds the stateless coin. *)
+}
+
+type t
+
+(** [build program binary] fuses the two views. Raises
+    [Invalid_argument] when a program block is missing from the binary
+    (they must describe the same build). *)
+val build : Ir.Program.t -> Linker.Binary.t -> t
+
+(** [func_index t name] is the dense index of a function. *)
+val func_index : t -> string -> int
+
+(** [block t ~func_idx ~block] fetches a precompiled block. *)
+val block : t -> func_idx:int -> block:int -> xblock
+
+(** [entry_func t] is the index of the program's main. *)
+val entry_func : t -> int
+
+val num_funcs : t -> int
+
+val num_blocks : t -> int

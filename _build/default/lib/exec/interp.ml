@@ -1,0 +1,196 @@
+type config = { requests : int; max_steps_per_request : int; call_depth_limit : int }
+
+let default_config = { requests = 100; max_steps_per_request = 5_000; call_depth_limit = 48 }
+
+type stats = {
+  blocks_executed : int;
+  bytes_fetched : int;
+  cond_branches : int;
+  cond_taken : int;
+  uncond_jumps : int;
+  indirect_jumps : int;
+  calls : int;
+  returns : int;
+  dloads : int;  (** Delinquent loads retired. *)
+  dmisses : int;  (** ... that missed (no prefetch cover). *)
+  dcovered : int;  (** ... whose miss a prefetch hid. *)
+  requests_completed : int;
+}
+
+let taken_branches s = s.cond_taken + s.uncond_jumps + s.indirect_jumps + s.calls + s.returns
+
+exception Out_of_steps
+
+type state = {
+  image : Image.t;
+  sink : Event.sink;
+  depth_limit : int;
+  visits : int array;  (** per block uid *)
+  mutable call_seq : int;
+  mutable steps : int;
+  mutable budget : int;
+  mutable s_blocks : int;
+  mutable s_bytes : int;
+  mutable s_cond : int;
+  mutable s_cond_taken : int;
+  mutable s_uncond : int;
+  mutable s_indirect : int;
+  mutable s_calls : int;
+  mutable s_returns : int;
+  mutable s_dloads : int;
+  mutable s_dmisses : int;
+  mutable s_dcovered : int;
+  mutable dload_seq : int;
+}
+
+let pick_weighted u seq callees =
+  let r = Support.Rng.hash_float u seq in
+  let n = Array.length callees in
+  let rec go i acc =
+    if i >= n - 1 then fst callees.(n - 1)
+    else begin
+      let name, w = callees.(i) in
+      let acc = acc +. w in
+      if r < acc then name else go (i + 1) acc
+    end
+  in
+  go 0 0.0
+
+(* Execute function [fi]; returns the address just past the retiring
+   [ret] instruction (the Ret branch source). *)
+let rec exec_func st fi depth =
+  let rec exec_block b =
+    let xb = Image.block st.image ~func_idx:fi ~block:b in
+    st.s_blocks <- st.s_blocks + 1;
+    st.steps <- st.steps + 1;
+    if st.steps > st.budget then raise Out_of_steps;
+    List.iter
+      (fun (op : Image.op) ->
+        match op with
+        | Image.Run (off, len, insts) ->
+          st.sink.on_fetch (xb.addr + off) len insts;
+          st.s_bytes <- st.s_bytes + len
+        | Image.Do_call { site_end; callees } ->
+          (* Calls beyond the depth limit are elided; the decision only
+             depends on logical state, so it is layout-independent. *)
+          if depth < st.depth_limit then begin
+            st.call_seq <- st.call_seq + 1;
+            let callee = pick_weighted xb.uid st.call_seq callees in
+            let ci = Image.func_index st.image callee in
+            let centry = Image.block st.image ~func_idx:ci ~block:0 in
+            let src = xb.addr + site_end in
+            st.s_calls <- st.s_calls + 1;
+            st.sink.on_branch ~src ~dst:centry.addr ~kind:Event.Call ~taken:true;
+            let ret_src = exec_func st ci (depth + 1) in
+            st.s_returns <- st.s_returns + 1;
+            st.sink.on_branch ~src:ret_src ~dst:src ~kind:Event.Ret ~taken:true
+          end
+        | Image.Do_dload { site_end; miss_prob; covered } ->
+          st.s_dloads <- st.s_dloads + 1;
+          st.dload_seq <- st.dload_seq + 1;
+          (* The miss roll depends only on logical state, so whether the
+             access *would* miss is layout-invariant; prefetch coverage
+             decides whether the pipeline actually stalls. *)
+          if Support.Rng.hash_choice xb.uid (0x0D10AD + st.dload_seq) miss_prob then begin
+            if covered then st.s_dcovered <- st.s_dcovered + 1
+            else begin
+              st.s_dmisses <- st.s_dmisses + 1;
+              st.sink.on_dmiss ~src:(xb.addr + site_end)
+            end
+          end)
+      xb.ops;
+    let uid = xb.uid in
+    let visit = st.visits.(uid) in
+    st.visits.(uid) <- visit + 1;
+    let goto next kind =
+      let nxt = Image.block st.image ~func_idx:fi ~block:next in
+      let src = xb.addr + xb.size in
+      let physically_taken = nxt.addr <> src in
+      (match kind with
+      | Event.Cond ->
+        st.s_cond <- st.s_cond + 1;
+        if physically_taken then st.s_cond_taken <- st.s_cond_taken + 1;
+        st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:physically_taken
+      | Event.Uncond ->
+        if physically_taken then begin
+          st.s_uncond <- st.s_uncond + 1;
+          st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:true
+        end
+      | Event.Indirect ->
+        st.s_indirect <- st.s_indirect + 1;
+        st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:true
+      | Event.Call | Event.Ret -> assert false);
+      exec_block next
+    in
+    match xb.term with
+    | Ir.Term.Jump next -> goto next Event.Uncond
+    | Ir.Term.Branch { taken; fallthrough; prob; _ } ->
+      let take = Support.Rng.hash_choice uid visit prob in
+      goto (if take then taken else fallthrough) Event.Cond
+    | Ir.Term.Switch { table; probs; _ } ->
+      let r = Support.Rng.hash_float uid visit in
+      let n = Array.length table in
+      let rec pick i acc =
+        if i >= n - 1 then table.(n - 1)
+        else begin
+          let acc = acc +. probs.(i) in
+          if r < acc then table.(i) else pick (i + 1) acc
+        end
+      in
+      goto (pick 0 0.0) Event.Indirect
+    | Ir.Term.Return -> xb.addr + xb.size
+  in
+  exec_block 0
+
+let run image config sink =
+  let st =
+    {
+      image;
+      sink;
+      depth_limit = config.call_depth_limit;
+      visits = Array.make (Image.num_blocks image + 2) 0;
+      call_seq = 0;
+      steps = 0;
+      budget = 0;
+      s_blocks = 0;
+      s_bytes = 0;
+      s_cond = 0;
+      s_cond_taken = 0;
+      s_uncond = 0;
+      s_indirect = 0;
+      s_calls = 0;
+      s_returns = 0;
+      s_dloads = 0;
+      s_dmisses = 0;
+      s_dcovered = 0;
+      dload_seq = 0;
+    }
+  in
+  let completed = ref 0 in
+  for r = 0 to config.requests - 1 do
+    st.budget <- st.steps + config.max_steps_per_request;
+    (try
+       let ret_src = exec_func st (Image.entry_func image) 0 in
+       (* The root return leaves the program (to the libc stub below the
+          text segment); real LBRs record it, so the profiler must see
+          it too — otherwise fall-through ranges ending at the entry
+          function's exit are unobservable. *)
+       sink.on_branch ~src:ret_src ~dst:0x1000 ~kind:Event.Ret ~taken:true
+     with Out_of_steps -> ());
+    incr completed;
+    sink.on_request r
+  done;
+  {
+    blocks_executed = st.s_blocks;
+    bytes_fetched = st.s_bytes;
+    cond_branches = st.s_cond;
+    cond_taken = st.s_cond_taken;
+    uncond_jumps = st.s_uncond;
+    indirect_jumps = st.s_indirect;
+    calls = st.s_calls;
+    returns = st.s_returns;
+    dloads = st.s_dloads;
+    dmisses = st.s_dmisses;
+    dcovered = st.s_dcovered;
+    requests_completed = !completed;
+  }

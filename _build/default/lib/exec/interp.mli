@@ -1,0 +1,43 @@
+(** The execution engine.
+
+    Interprets an {!Image.t} for a fixed number of requests (invocations
+    of [main]), streaming fetch/branch events to a sink. Control-flow
+    decisions are stateless hashes of (block uid, visit count), so two
+    images of the *same program* under *different layouts* execute the
+    identical logical trace — only addresses differ. That is precisely
+    the property needed to compare layouts fairly.
+
+    Bounded execution: each request stops after [max_steps_per_request]
+    block executions (loops are probabilistic and unbounded otherwise),
+    and calls deeper than [call_depth_limit] are elided (deterministic,
+    layout-independent). *)
+
+type config = {
+  requests : int;
+  max_steps_per_request : int;
+  call_depth_limit : int;
+}
+
+val default_config : config
+
+type stats = {
+  blocks_executed : int;
+  bytes_fetched : int;
+  cond_branches : int;  (** Conditional branch instructions retired. *)
+  cond_taken : int;  (** ... of which physically taken. *)
+  uncond_jumps : int;  (** Unconditional jumps retired (post-relax). *)
+  indirect_jumps : int;
+  calls : int;
+  returns : int;
+  dloads : int;  (** Delinquent loads retired. *)
+  dmisses : int;  (** ... that missed the data caches uncovered. *)
+  dcovered : int;  (** ... whose miss a software prefetch hid. *)
+  requests_completed : int;
+}
+
+(** [taken_branches s] counts all physically taken transfers — the
+    [br_inst_retired.near_taken] proxy (Table 4, B2). *)
+val taken_branches : stats -> int
+
+(** [run image config sink] executes and returns aggregate counters. *)
+val run : Image.t -> config -> Event.sink -> stats

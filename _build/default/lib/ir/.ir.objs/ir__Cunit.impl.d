@@ -1,0 +1,1 @@
+lib/ir/cunit.ml: Format Func List Printf String

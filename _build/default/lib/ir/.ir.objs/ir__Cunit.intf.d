@@ -1,0 +1,1 @@
+lib/ir/cunit.mli: Format Func

@@ -1,0 +1,1 @@
+lib/ir/inst.ml: Array Format

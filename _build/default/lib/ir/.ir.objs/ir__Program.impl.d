@@ -1,0 +1,1 @@
+lib/ir/program.ml: Cunit Func Hashtbl List Printf

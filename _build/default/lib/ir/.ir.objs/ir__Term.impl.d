@@ -1,0 +1,1 @@
+lib/ir/term.ml: Array Format Isa String

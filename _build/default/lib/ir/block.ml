@@ -1,0 +1,12 @@
+type t = { id : int; body : Inst.t list; term : Term.t; is_landing_pad : bool }
+
+let make ?(is_landing_pad = false) ~id ~body ~term () = { id; body; term; is_landing_pad }
+
+let body_bytes b = List.fold_left (fun acc i -> acc + Inst.byte_size i) 0 b.body
+
+let calls b = List.concat_map Inst.callees b.body
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v 2>.%d%s:@ " b.id (if b.is_landing_pad then " (lp)" else "");
+  List.iter (fun i -> Format.fprintf fmt "%a@ " Inst.pp i) b.body;
+  Format.fprintf fmt "%a@]" Term.pp b.term

@@ -1,0 +1,22 @@
+(** A basic block: a straight-line body plus one terminator. *)
+
+type t = {
+  id : int;  (** Index of the block within its function's block array. *)
+  body : Inst.t list;
+  term : Term.t;
+  is_landing_pad : bool;
+      (** Exception landing pad; constrains layout (paper §4.5). *)
+}
+
+(** [make ?is_landing_pad ~id ~body ~term ()] builds a block. *)
+val make : ?is_landing_pad:bool -> id:int -> body:Inst.t list -> term:Term.t -> unit -> t
+
+(** [body_bytes b] is the lowered byte size of the body, terminator
+    excluded (the terminator's size depends on encoding and layout). *)
+val body_bytes : t -> int
+
+(** [calls b] lists callees of all call sites in the body with their
+    per-site probabilities. *)
+val calls : t -> (string * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/layout/exttsp.ml: Array Hashtbl List Option Support

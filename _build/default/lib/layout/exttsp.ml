@@ -1,0 +1,296 @@
+type params = {
+  forward_window : int;
+  backward_window : int;
+  fallthrough_weight : float;
+  forward_weight : float;
+  backward_weight : float;
+  max_split_chain : int;
+  use_pqueue : bool;
+}
+
+let default_params =
+  {
+    forward_window = 1024;
+    backward_window = 640;
+    fallthrough_weight = 1.0;
+    forward_weight = 0.1;
+    backward_weight = 0.1;
+    max_split_chain = 24;
+    use_pqueue = true;
+  }
+
+let merge_count = ref 0
+
+let last_merge_count () = !merge_count
+
+(* Contribution of one edge given the jump distance in bytes. [dist] is
+   (dst_start - src_end): 0 means fall-through. *)
+let edge_gain p w dist =
+  if dist = 0 then p.fallthrough_weight *. w
+  else if dist > 0 && dist <= p.forward_window then
+    p.forward_weight *. w *. (1.0 -. (float_of_int dist /. float_of_int p.forward_window))
+  else if dist < 0 && -dist <= p.backward_window then
+    p.backward_weight *. w *. (1.0 -. (float_of_int (-dist) /. float_of_int p.backward_window))
+  else 0.0
+
+type chain = {
+  cid : int;
+  nodes : int array;
+  size : int;  (** total code bytes *)
+  weight : float;  (** total execution count *)
+  score : float;  (** Ext-TSP score of internal edges under this order *)
+  internal : (int * int * float) list;  (** edges with both ends inside *)
+  gen : int;  (** bumped via replacement; used to detect stale candidates *)
+}
+
+(* Scratch state threaded through scoring to avoid re-allocating
+   position maps for every candidate evaluation. *)
+type scratch = { pos : int array; end_pos : int array; stamp : int array; mutable cur : int }
+
+let make_scratch n = { pos = Array.make n 0; end_pos = Array.make n 0; stamp = Array.make n (-1); cur = 0 }
+
+(* Score the arrangement [arr] (node ids in layout order) against the
+   given edges; edges with an endpoint outside [arr] contribute 0. *)
+let score_arrangement p scratch sizes arr edges =
+  scratch.cur <- scratch.cur + 1;
+  let off = ref 0 in
+  Array.iter
+    (fun n ->
+      scratch.pos.(n) <- !off;
+      off := !off + sizes.(n);
+      scratch.end_pos.(n) <- !off;
+      scratch.stamp.(n) <- scratch.cur)
+    arr;
+  List.fold_left
+    (fun acc (src, dst, w) ->
+      if scratch.stamp.(src) = scratch.cur && scratch.stamp.(dst) = scratch.cur then
+        acc +. edge_gain p w (scratch.pos.(dst) - scratch.end_pos.(src))
+      else acc)
+    0.0 edges
+
+let dedupe_edges edges =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (src, dst, w) ->
+      if src <> dst && w > 0.0 then
+        match Hashtbl.find_opt tbl (src, dst) with
+        | Some w0 -> Hashtbl.replace tbl (src, dst) (w0 +. w)
+        | None -> Hashtbl.add tbl (src, dst) w)
+    edges;
+  Hashtbl.fold (fun (src, dst) w acc -> (src, dst, w) :: acc) tbl []
+  |> List.sort compare (* determinism: hash order is unspecified *)
+
+let score ?(params = default_params) ~sizes ~edges ~order () =
+  let arr = Array.of_list order in
+  let scratch = make_scratch (Array.length sizes) in
+  score_arrangement params scratch sizes arr (dedupe_edges edges)
+
+(* Evaluate the best way to merge chains [a] and [b]. Returns
+   (gain, merged node array, merged score) for the best arrangement that
+   keeps [entry] first when present, or None if no arrangement is valid
+   or profitable. *)
+let best_merge p scratch sizes entry a b cross =
+  let edges = List.rev_append cross (List.rev_append a.internal b.internal) in
+  let entry_in arr = Array.exists (fun n -> n = entry) arr in
+  let constrained = entry_in a.nodes || entry_in b.nodes in
+  let consider (best : (float * int array) option) arr =
+    if constrained && arr.(0) <> entry then best
+    else
+      let s = score_arrangement p scratch sizes arr edges in
+      match best with Some (bs, _) when bs >= s -> best | Some _ | None -> Some (s, arr)
+  in
+  let concat x y = Array.append x y in
+  let best = consider None (concat a.nodes b.nodes) in
+  let best = consider best (concat b.nodes a.nodes) in
+  let best =
+    (* Split [a] at every interior point and wedge [b] inside: the
+       X1-Y-X2 merge type from Newell & Pupyrev. *)
+    if Array.length a.nodes <= p.max_split_chain && Array.length a.nodes > 1 then begin
+      let acc = ref best in
+      for split = 1 to Array.length a.nodes - 1 do
+        let x1 = Array.sub a.nodes 0 split in
+        let x2 = Array.sub a.nodes split (Array.length a.nodes - split) in
+        acc := consider !acc (Array.concat [ x1; b.nodes; x2 ])
+      done;
+      !acc
+    end
+    else best
+  in
+  match best with
+  | None -> None
+  | Some (s, arr) ->
+    let gain = s -. a.score -. b.score in
+    if gain > 1e-9 then Some (gain, arr, s) else None
+
+let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
+  merge_count := 0;
+  let n = Array.length sizes in
+  if n = 0 then []
+  else begin
+    let edges = dedupe_edges edges in
+    let scratch = make_scratch n in
+    (* Chain state. [chains] maps live chain ids to chains; merging
+       allocates a fresh id so stale pqueue entries are detectable. *)
+    let chains : (int, chain) Hashtbl.t = Hashtbl.create (2 * n) in
+    let node_chain = Array.init n (fun i -> i) in
+    let next_cid = ref n in
+    for i = 0 to n - 1 do
+      Hashtbl.replace chains i
+        { cid = i; nodes = [| i |]; size = sizes.(i); weight = weights.(i); score = 0.0;
+          internal = []; gen = 0 }
+    done;
+    (* Cross edges per unordered chain pair, and neighbor sets. *)
+    let pair_key a b = if a < b then (a, b) else (b, a)
+    in
+    let cross : (int * int, (int * int * float) list) Hashtbl.t = Hashtbl.create (2 * n) in
+    let neighbors : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create (2 * n) in
+    let neighbor_set cid =
+      match Hashtbl.find_opt neighbors cid with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace neighbors cid s;
+        s
+    in
+    let add_cross a b es =
+      if a <> b && es <> [] then begin
+        let key = pair_key a b in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt cross key) in
+        Hashtbl.replace cross key (List.rev_append es prev);
+        Hashtbl.replace (neighbor_set a) b ();
+        Hashtbl.replace (neighbor_set b) a ()
+      end
+    in
+    List.iter (fun (src, dst, w) -> add_cross node_chain.(src) node_chain.(dst) [ (src, dst, w) ]) edges;
+    (* Candidate queue. Entries carry the chain ids they were computed
+       for; an entry is stale if either id is no longer live. *)
+    let pq : (int * int) Support.Pqueue.t = Support.Pqueue.create () in
+    let candidates : (int * int, float) Hashtbl.t = Hashtbl.create (2 * n) in
+    let eval_pair a_id b_id =
+      match Hashtbl.find_opt chains a_id, Hashtbl.find_opt chains b_id with
+      | Some a, Some b -> (
+        match Hashtbl.find_opt cross (pair_key a_id b_id) with
+        | None -> None
+        | Some es -> (
+          match best_merge params scratch sizes entry a b es with
+          | None -> None
+          | Some (gain, arr, s) -> Some (gain, arr, s)))
+      | None, _ | _, None -> None
+    in
+    let push_pair a_id b_id =
+      match eval_pair a_id b_id with
+      | None -> Hashtbl.remove candidates (pair_key a_id b_id)
+      | Some (gain, _, _) ->
+        Hashtbl.replace candidates (pair_key a_id b_id) gain;
+        if params.use_pqueue then ignore (Support.Pqueue.add pq ~priority:gain (pair_key a_id b_id))
+    in
+    Hashtbl.iter (fun (a, b) _ -> push_pair a b) cross;
+    let live cid = Hashtbl.mem chains cid in
+    (* Pop the best candidate according to the configured strategy. *)
+    let rec next_candidate () =
+      if params.use_pqueue then
+        match Support.Pqueue.pop_max pq with
+        | None -> None
+        | Some ((a, b), gain) ->
+          if live a && live b
+             && (match Hashtbl.find_opt candidates (pair_key a b) with
+                | Some g -> abs_float (g -. gain) < 1e-12
+                | None -> false)
+          then Some (a, b)
+          else next_candidate ()
+      else begin
+        (* Linear rescan: the pre-Propeller O(n) retrieval. *)
+        let best = ref None in
+        Hashtbl.iter
+          (fun (a, b) g ->
+            if live a && live b then
+              match !best with
+              | Some (_, _, bg) when bg >= g -> ()
+              | Some _ | None -> best := Some (a, b, g))
+          candidates;
+        match !best with Some (a, b, _) -> Some (a, b) | None -> None
+      end
+    in
+    let merge a_id b_id =
+      match eval_pair a_id b_id with
+      | None ->
+        (* The candidate table was stale; drop it. *)
+        Hashtbl.remove candidates (pair_key a_id b_id)
+      | Some (_, arr, s) ->
+        incr merge_count;
+        let a = Hashtbl.find chains a_id and b = Hashtbl.find chains b_id in
+        let key = pair_key a_id b_id in
+        let cross_ab = Option.value ~default:[] (Hashtbl.find_opt cross key) in
+        let merged =
+          {
+            cid = !next_cid;
+            nodes = arr;
+            size = a.size + b.size;
+            weight = a.weight +. b.weight;
+            score = s;
+            internal = List.rev_append cross_ab (List.rev_append a.internal b.internal);
+            gen = 0;
+          }
+        in
+        incr next_cid;
+        Hashtbl.remove chains a_id;
+        Hashtbl.remove chains b_id;
+        Hashtbl.replace chains merged.cid merged;
+        Array.iter (fun nd -> node_chain.(nd) <- merged.cid) arr;
+        Hashtbl.remove cross key;
+        Hashtbl.remove candidates key;
+        (* Re-route cross edges of both old chains to the merged chain
+           and refresh affected candidates. *)
+        let old_neighbors cid =
+          match Hashtbl.find_opt neighbors cid with
+          | None -> []
+          | Some s -> Hashtbl.fold (fun k () acc -> k :: acc) s []
+        in
+        let touched = ref [] in
+        List.iter
+          (fun old_id ->
+            List.iter
+              (fun nb ->
+                if nb <> a_id && nb <> b_id && live nb then begin
+                  let k = pair_key old_id nb in
+                  (match Hashtbl.find_opt cross k with
+                  | Some es ->
+                    Hashtbl.remove cross k;
+                    Hashtbl.remove candidates k;
+                    add_cross merged.cid nb es
+                  | None -> ());
+                  touched := nb :: !touched
+                end)
+              (old_neighbors old_id);
+            Hashtbl.remove neighbors old_id)
+          [ a_id; b_id ];
+        List.sort_uniq compare !touched |> List.iter (fun nb -> push_pair merged.cid nb)
+    in
+    let rec loop () =
+      match next_candidate () with
+      | None -> ()
+      | Some (a, b) ->
+        merge a b;
+        loop ()
+    in
+    loop ();
+    (* Final order: the entry chain first, then remaining chains by
+       decreasing hotness density, ties by smallest node id for
+       determinism. *)
+    let all = Hashtbl.fold (fun _ c acc -> c :: acc) chains [] in
+    let density c = if c.size = 0 then 0.0 else c.weight /. float_of_int c.size in
+    let min_node c = Array.fold_left min max_int c.nodes in
+    let is_entry c = Array.exists (fun nd -> nd = entry) c.nodes in
+    let sorted =
+      List.sort
+        (fun c1 c2 ->
+          match is_entry c2, is_entry c1 with
+          | true, false -> 1
+          | false, true -> -1
+          | true, true | false, false ->
+            let d = compare (density c2) (density c1) in
+            if d <> 0 then d else compare (min_node c1) (min_node c2))
+        all
+    in
+    List.concat_map (fun c -> Array.to_list c.nodes) sorted
+  end

@@ -1,0 +1,58 @@
+(** Ext-TSP basic block reordering (Newell & Pupyrev, "Improved Basic
+    Block Reordering", 2018; paper §3.3, §4.7).
+
+    The algorithm greedily merges chains of nodes to maximise the Ext-TSP
+    objective, which rewards fall-through edges fully and short forward /
+    backward jumps partially. Propeller's contribution for warehouse
+    scale is the *logarithmic-time retrieval of the most profitable
+    merge* (paper §4.7): candidate merges live in a priority queue keyed
+    by gain instead of being rescanned linearly. Both strategies are
+    implemented; the bench compares them ([ablation_inter]).
+
+    Nodes are integers [0 .. n-1]. The produced order is a permutation
+    with the entry node first. *)
+
+type params = {
+  forward_window : int;  (** Max rewarded forward-jump distance (bytes). *)
+  backward_window : int;  (** Max rewarded backward-jump distance. *)
+  fallthrough_weight : float;
+  forward_weight : float;
+  backward_weight : float;
+  max_split_chain : int;
+      (** Chains longer than this are only merged by concatenation (the
+          split-point search is quadratic). *)
+  use_pqueue : bool;
+      (** Retrieve the best merge from a priority queue (O(log n)) rather
+          than a linear rescan of all candidates. Results are identical;
+          only the running time differs. *)
+}
+
+val default_params : params
+
+(** [order ?params ~sizes ~weights ~edges ~entry ()] computes a layout.
+
+    - [sizes.(i)]: code bytes of node [i];
+    - [weights.(i)]: execution count of node [i] (used to order the final
+      chains by hotness density);
+    - [edges]: [(src, dst, weight)] branch/fall-through frequencies;
+      duplicate pairs are accumulated; self-edges are ignored;
+    - [entry]: node pinned to the front of the layout.
+
+    Returns a permutation of [0 .. n-1]. *)
+val order :
+  ?params:params ->
+  sizes:int array ->
+  weights:float array ->
+  edges:(int * int * float) list ->
+  entry:int ->
+  unit ->
+  int list
+
+(** [score ?params ~sizes ~edges ~order ()] evaluates the Ext-TSP
+    objective of a given layout (higher is better). *)
+val score :
+  ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
+
+(** Number of chain merges performed by the last {!order} call on this
+    domain; exposed for the benches' work accounting. *)
+val last_merge_count : unit -> int

@@ -1,0 +1,23 @@
+(** C3 function ordering (call-chain clustering), as used by BOLT's
+    [-reorder-functions=hfsort] and by Propeller's global function layout.
+
+    Functions are greedily appended to the cluster of their hottest
+    caller, subject to a cluster-size cap that preserves locality; final
+    clusters are emitted in decreasing hotness density. Nodes are
+    integers [0 .. n-1]. *)
+
+(** [order ~sizes ~samples ~arcs ?max_cluster_size ()] returns a
+    permutation of [0 .. n-1].
+
+    - [sizes.(i)]: code bytes of function [i];
+    - [samples.(i)]: profile samples attributed to function [i];
+    - [arcs]: [(caller, callee, weight)] call frequencies;
+    - [max_cluster_size]: byte cap beyond which clusters stop growing
+      (default 1 MiB). *)
+val order :
+  sizes:int array ->
+  samples:float array ->
+  arcs:(int * int * float) list ->
+  ?max_cluster_size:int ->
+  unit ->
+  int list

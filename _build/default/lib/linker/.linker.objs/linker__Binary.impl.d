@@ -1,0 +1,1 @@
+lib/linker/binary.ml: Array Hashtbl Isa List Objfile Seq

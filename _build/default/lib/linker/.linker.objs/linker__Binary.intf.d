@@ -1,0 +1,1 @@
+lib/linker/binary.mli: Hashtbl Isa Objfile

@@ -1,0 +1,1 @@
+lib/linker/costmodel.mli:

@@ -1,0 +1,1 @@
+lib/linker/link.ml: Array Binary Costmodel Fun Hashtbl Isa List Objfile Option Printf String

@@ -1,0 +1,1 @@
+lib/linker/orderfile.ml: Buffer Hashtbl List String

@@ -1,0 +1,1 @@
+lib/linker/orderfile.mli:

@@ -1,0 +1,75 @@
+type block_info = { func : string; block : int; addr : int; size : int; insts : Isa.t list }
+
+type placed = {
+  name : string;
+  kind : Objfile.Section.kind;
+  addr : int;
+  size : int;
+  symbol : string option;
+}
+
+type t = {
+  name : string;
+  entry_symbol : string;
+  sections : placed list;
+  symbols : (string, int) Hashtbl.t;
+  blocks : (string * int, block_info) Hashtbl.t;
+  text_start : int;
+  text_end : int;
+  bb_maps : Objfile.Bbmap.t;
+  uid : int;  (** Distinguishes binaries for internal caching. *)
+}
+
+let next_uid = ref 0
+
+let make ~name ~entry_symbol ~sections ~symbols ~blocks ~text_start ~text_end ~bb_maps =
+  incr next_uid;
+  { name; entry_symbol; sections; symbols; blocks; text_start; text_end; bb_maps;
+    uid = !next_uid }
+
+let symbol_addr t s = Hashtbl.find_opt t.symbols s
+
+let block_info t ~func ~block = Hashtbl.find_opt t.blocks (func, block)
+
+let block_info_exn t ~func ~block = Hashtbl.find t.blocks (func, block)
+
+let size_of_kind t kind =
+  List.fold_left (fun acc p -> if p.kind = kind then acc + p.size else acc) 0 t.sections
+
+let total_size t = List.fold_left (fun acc p -> acc + p.size) 0 t.sections
+
+let text_bytes t = size_of_kind t Objfile.Section.Text
+
+let num_symbols t = Hashtbl.length t.symbols
+
+(* Sorted block array for address lookups, built lazily per binary via
+   memo table keyed on physical identity. *)
+let sorted_blocks_cache : (int, block_info array) Hashtbl.t = Hashtbl.create 8
+
+let sorted_blocks t =
+  match Hashtbl.find_opt sorted_blocks_cache t.uid with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_seq (Seq.map snd (Hashtbl.to_seq t.blocks)) in
+    Array.sort (fun (a : block_info) (b : block_info) -> compare a.addr b.addr) arr;
+    Hashtbl.replace sorted_blocks_cache t.uid arr;
+    arr
+
+let find_block_by_addr t addr =
+  let arr = sorted_blocks t in
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let b = arr.(mid) in
+      if addr < b.addr then search lo (mid - 1)
+      else if addr >= b.addr + b.size then search (mid + 1) hi
+      else Some b
+    end
+  in
+  search 0 (Array.length arr - 1)
+
+let funcs t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter (fun (f, _) _ -> Hashtbl.replace seen f ()) t.blocks;
+  Hashtbl.fold (fun f () acc -> f :: acc) seen [] |> List.sort compare

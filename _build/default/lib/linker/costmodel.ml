@@ -1,0 +1,18 @@
+let base_mem = 60 * 1024 * 1024 (* resident linker image + tables *)
+
+let bytes_per_section = 96 (* section header, symbol, ordering slot *)
+
+let peak_mem ~input_bytes ~num_sections =
+  base_mem + (2 * input_bytes) + (bytes_per_section * num_sections)
+
+let input_throughput = 150.0e6 (* bytes/second consumed *)
+
+let per_section_seconds = 1.5e-6
+
+let per_relax_sweep_seconds = 0.15
+
+let cpu_seconds ~input_bytes ~num_sections ~relax_iters =
+  2.0
+  +. (float_of_int input_bytes /. input_throughput)
+  +. (per_section_seconds *. float_of_int num_sections)
+  +. (per_relax_sweep_seconds *. float_of_int relax_iters)

@@ -1,0 +1,16 @@
+(** Linker resource cost model.
+
+    The paper characterises linker memory as "somewhat well defined
+    (~2X size of inputs)" (§5.2, citing [21]); we adopt exactly that,
+    plus a per-section bookkeeping overhead that makes the
+    all-bb-sections ablation visible, and a throughput-based time
+    model. Absolute constants are calibration, shapes are what the
+    benches compare. *)
+
+(** [peak_mem ~input_bytes ~num_sections] in bytes. *)
+val peak_mem : input_bytes:int -> num_sections:int -> int
+
+(** [cpu_seconds ~input_bytes ~num_sections ~relax_iters] models link
+    time: constant startup + input consumption at a fixed throughput +
+    per-section ordering cost + per-relaxation-sweep cost. *)
+val cpu_seconds : input_bytes:int -> num_sections:int -> relax_iters:int -> float

@@ -1,0 +1,15 @@
+(** Symbol ordering files ([--symbol-ordering-file], the [ld_prof.txt]
+    of Fig 1): one symbol per line, ['#'] comments and blank lines
+    ignored, duplicates dropped (first occurrence wins) — the semantics
+    modern linkers implement. *)
+
+(** [to_text syms] renders an ordering file with a header comment. *)
+val to_text : string list -> string
+
+(** [of_text s] parses an ordering file. *)
+val of_text : string -> string list
+
+(** [validate ~known syms] partitions the ordering into symbols the
+    binary defines and spurious leftovers (e.g. stale profiles naming
+    deleted functions); linkers warn about the latter. *)
+val validate : known:(string -> bool) -> string list -> string list * string list

@@ -1,0 +1,1 @@
+lib/objfile/bbmap.ml: List String

@@ -1,0 +1,1 @@
+lib/objfile/bbmap.mli:

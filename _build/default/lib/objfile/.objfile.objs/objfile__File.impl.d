@@ -1,0 +1,1 @@
+lib/objfile/file.ml: Fragment List Section String

@@ -1,0 +1,1 @@
+lib/objfile/file.mli: Bbmap Section

@@ -1,0 +1,1 @@
+lib/objfile/fragment.ml: Isa List Printf

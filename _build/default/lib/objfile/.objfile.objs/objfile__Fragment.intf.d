@@ -1,0 +1,1 @@
+lib/objfile/fragment.mli: Isa

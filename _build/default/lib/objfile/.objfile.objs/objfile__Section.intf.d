@@ -1,0 +1,1 @@
+lib/objfile/section.mli: Bbmap Fragment

@@ -1,0 +1,1 @@
+lib/perfmon/lbr.ml: Array Exec Hashtbl

@@ -1,0 +1,1 @@
+lib/perfmon/lbr.mli: Exec Hashtbl

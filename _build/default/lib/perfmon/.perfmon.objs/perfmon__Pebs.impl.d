@@ -1,0 +1,1 @@
+lib/perfmon/pebs.ml: Exec Hashtbl

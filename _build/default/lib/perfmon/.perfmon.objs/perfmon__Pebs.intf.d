@@ -1,0 +1,1 @@
+lib/perfmon/pebs.mli: Exec Hashtbl

@@ -1,0 +1,79 @@
+type config = { period : int; buffer_depth : int }
+
+let default_config = { period = 101; buffer_depth = 32 }
+
+type profile = {
+  branches : (int * int, int) Hashtbl.t;
+  ranges : (int * int, int) Hashtbl.t;
+  mutable num_samples : int;
+  mutable num_records : int;
+}
+
+let create_profile () =
+  { branches = Hashtbl.create 4096; ranges = Hashtbl.create 4096; num_samples = 0; num_records = 0 }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + 1)
+  | None -> Hashtbl.add tbl key 1
+
+let collector config profile =
+  let depth = config.buffer_depth in
+  let ring_src = Array.make depth 0 in
+  let ring_dst = Array.make depth 0 in
+  let head = ref 0 (* next write position *) in
+  let filled = ref 0 in
+  let since_sample = ref 0 in
+  let sample () =
+    profile.num_samples <- profile.num_samples + 1;
+    let n = !filled in
+    (* Oldest-to-newest traversal of the ring. *)
+    let start = (!head - n + (2 * depth)) mod depth in
+    let prev_dst = ref (-1) in
+    for k = 0 to n - 1 do
+      let i = (start + k) mod depth in
+      profile.num_records <- profile.num_records + 1;
+      bump profile.branches (ring_src.(i), ring_dst.(i));
+      if !prev_dst >= 0 && ring_src.(i) >= !prev_dst then
+        bump profile.ranges (!prev_dst, ring_src.(i));
+      prev_dst := ring_dst.(i)
+    done
+  in
+  {
+    Exec.Event.on_fetch = (fun _ _ _ -> ());
+    on_branch =
+      (fun ~src ~dst ~kind:_ ~taken ->
+        if taken then begin
+          ring_src.(!head) <- src;
+          ring_dst.(!head) <- dst;
+          head := (!head + 1) mod depth;
+          if !filled < depth then incr filled;
+          incr since_sample;
+          if !since_sample >= config.period then begin
+            since_sample := 0;
+            sample ()
+          end
+        end);
+    on_dmiss = (fun ~src:_ -> ());
+    on_request = (fun _ -> ());
+  }
+
+let raw_bytes config profile = profile.num_samples * ((24 * config.buffer_depth) + 64)
+
+let distinct_edges profile = Hashtbl.length profile.branches + Hashtbl.length profile.ranges
+
+let merge a b =
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt a.branches k with
+      | Some c -> Hashtbl.replace a.branches k (c + v)
+      | None -> Hashtbl.add a.branches k v)
+    b.branches;
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt a.ranges k with
+      | Some c -> Hashtbl.replace a.ranges k (c + v)
+      | None -> Hashtbl.add a.ranges k v)
+    b.ranges;
+  a.num_samples <- a.num_samples + b.num_samples;
+  a.num_records <- a.num_records + b.num_records

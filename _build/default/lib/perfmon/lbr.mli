@@ -1,0 +1,46 @@
+(** Last Branch Record sampling (paper §3.3; Linux perf stand-in).
+
+    Intel LBR hardware keeps the last 32 retired taken branches as
+    (source, destination) address pairs. Sampling captures this buffer
+    every [period] taken branches. Two aggregates are kept:
+
+    - {b branch counts}: how often each (src, dst) pair was observed —
+      the taken edges of the dynamic CFG;
+    - {b range counts}: for consecutive records, execution between one
+      record's destination and the next record's source was sequential;
+      these [(range_start, range_end)] pairs recover fall-through
+      frequencies without disassembly.
+
+    The aggregation is exactly what [perf script ++ create_llvm_prof]
+    would produce and is all Phase 3 consumes. *)
+
+type config = {
+  period : int;  (** Taken branches between samples. *)
+  buffer_depth : int;  (** LBR depth (32 on Intel). *)
+}
+
+val default_config : config
+
+type profile = {
+  branches : (int * int, int) Hashtbl.t;  (** (src, dst) -> count *)
+  ranges : (int * int, int) Hashtbl.t;  (** (start, end) -> count *)
+  mutable num_samples : int;
+  mutable num_records : int;
+}
+
+val create_profile : unit -> profile
+
+(** [collector config profile] is a sink that samples into [profile]. *)
+val collector : config -> profile -> Exec.Event.sink
+
+(** [raw_bytes p] models the on-disk [perf.data] size: every sample
+    carries the full LBR buffer (24 B per record + header). *)
+val raw_bytes : config -> profile -> int
+
+(** [distinct_edges p] counts distinct aggregated pairs (memory driver
+    for profile conversion). *)
+val distinct_edges : profile -> int
+
+(** [merge a b] accumulates profile [b] into [a] (multi-shard collection,
+    as production profiles arrive from many machines). *)
+val merge : profile -> profile -> unit

@@ -1,0 +1,34 @@
+type config = { period : int }
+
+let default_config = { period = 19 }
+
+type profile = { misses : (int, int) Hashtbl.t; mutable num_samples : int }
+
+let create_profile () = { misses = Hashtbl.create 256; num_samples = 0 }
+
+let collector config profile =
+  let since = ref 0 in
+  {
+    Exec.Event.null with
+    Exec.Event.on_dmiss =
+      (fun ~src ->
+        incr since;
+        if !since >= config.period then begin
+          since := 0;
+          profile.num_samples <- profile.num_samples + 1;
+          match Hashtbl.find_opt profile.misses src with
+          | Some c -> Hashtbl.replace profile.misses src (c + 1)
+          | None -> Hashtbl.add profile.misses src 1
+        end);
+  }
+
+let total profile = Hashtbl.fold (fun _ c acc -> acc + c) profile.misses 0
+
+let merge a b =
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt a.misses k with
+      | Some c -> Hashtbl.replace a.misses k (c + v)
+      | None -> Hashtbl.add a.misses k v)
+    b.misses;
+  a.num_samples <- a.num_samples + b.num_samples

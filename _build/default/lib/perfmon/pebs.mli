@@ -1,0 +1,27 @@
+(** PEBS-style precise data-miss sampling.
+
+    The paper's §3.5 sketches profile-guided post-link prefetch
+    insertion driven by cache-miss profiles; those profiles come from
+    precise-event sampling of load misses (PEBS on Intel). This
+    collector samples every [period]-th uncovered delinquent-load miss
+    and records the retiring instruction address. *)
+
+type config = { period : int }
+
+val default_config : config
+
+type profile = {
+  misses : (int, int) Hashtbl.t;  (** Load end-address -> sample count. *)
+  mutable num_samples : int;
+}
+
+val create_profile : unit -> profile
+
+(** [collector config profile] is a sink sampling into [profile]. *)
+val collector : config -> profile -> Exec.Event.sink
+
+(** [total p] sums sample counts. *)
+val total : profile -> int
+
+(** [merge a b] accumulates [b] into [a]. *)
+val merge : profile -> profile -> unit

@@ -1,0 +1,1 @@
+lib/progen/generate.ml: Array Fun Hashtbl Ir Isa List Option Printf Spec Support

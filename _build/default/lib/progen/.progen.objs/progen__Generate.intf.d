@@ -1,0 +1,1 @@
+lib/progen/generate.mli: Ir Spec

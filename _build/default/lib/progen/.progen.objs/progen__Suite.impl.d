@@ -1,0 +1,1 @@
+lib/progen/suite.ml: List Spec String

@@ -1,0 +1,52 @@
+type hazards = { has_rseq : bool; has_fips_check : bool; stripped_debug : bool }
+
+let no_hazards = { has_rseq = false; has_fips_check = false; stripped_debug = false }
+
+type t = {
+  name : string;
+  seed : int64;
+  scale : int;
+  num_units : int;
+  funcs_per_unit_mean : float;
+  blocks_per_func_mean : float;
+  bytes_per_block_mean : float;
+  cold_unit_fraction : float;
+  pgo_noise : float;
+  pgo_mismatch : float;
+  call_density : float;
+  delinquent_fraction : float;
+  exception_fraction : float;
+  inline_asm_fraction : float;
+  switch_fraction : float;
+  loop_fraction : float;
+  rodata_per_unit : int;
+  data_per_unit : int;
+  hazards : hazards;
+  requests : int;
+  metric : [ `Walltime | `Latency | `Qps ];
+  hugepages : bool;
+}
+
+type paper_row = {
+  paper_text_bytes : int;
+  paper_funcs : int;
+  paper_blocks : int;
+  paper_cold_pct : float;
+}
+
+(* Table 2 of the paper; keyed by benchmark name. *)
+let paper_rows =
+  [
+    ("clang", (72_000_000, 160_000, 2_100_000, 67.0));
+    ("mysql", (26_000_000, 61_000, 1_400_000, 93.0));
+    ("spanner", (175_000_000, 562_000, 7_800_000, 83.0));
+    ("search", (413_000_000, 1_700_000, 18_000_000, 95.0));
+    ("bigtable", (93_000_000, 368_000, 4_200_000, 88.0));
+    ("superroot", (598_000_000, 2_700_000, 30_000_000, 82.0));
+  ]
+
+let paper_row t =
+  match List.assoc_opt t.name paper_rows with
+  | None -> None
+  | Some (paper_text_bytes, paper_funcs, paper_blocks, cold) ->
+    Some { paper_text_bytes; paper_funcs; paper_blocks; paper_cold_pct = cold }

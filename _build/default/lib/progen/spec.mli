@@ -1,0 +1,59 @@
+(** Synthetic benchmark specifications.
+
+    Each spec drives {!Generate.program} towards the shape of one of the
+    paper's benchmarks (Table 2): text size, function count, basic-block
+    count and the fraction of cold compilation units. Warehouse-scale
+    programs are generated at [scale]:1 (the simulator does not need 600
+    MB of code to show the mechanisms; EXPERIMENTS.md reports both raw
+    and scale-adjusted numbers). *)
+
+type hazards = {
+  has_rseq : bool;
+      (** Uses restartable sequences; binary rewriters corrupt the abort
+          handlers (paper §5.8). *)
+  has_fips_check : bool;
+      (** Performs a startup integrity check over its own text (FIPS
+          140-2); rewritten binaries fail it (paper §5.8). *)
+  stripped_debug : bool;
+      (** Debug info served from separate servers; rewriters that
+          cannot strip are unusable (paper §5.8). *)
+}
+
+val no_hazards : hazards
+
+type t = {
+  name : string;
+  seed : int64;
+  scale : int;  (** Divisor vs the paper's real program size. *)
+  num_units : int;
+  funcs_per_unit_mean : float;
+  blocks_per_func_mean : float;
+  bytes_per_block_mean : float;
+  cold_unit_fraction : float;  (** Target "% Cold" of Table 2. *)
+  pgo_noise : float;  (** Half-width of noise on PGO edge estimates. *)
+  pgo_mismatch : float;  (** Probability a PGO estimate is unrelated. *)
+  call_density : float;  (** Expected call sites per block. *)
+  delinquent_fraction : float;
+      (** Fraction of loads with poor data locality (prefetch targets,
+          paper §3.5). *)
+  exception_fraction : float;  (** Functions with landing pads. *)
+  inline_asm_fraction : float;  (** Hand-written assembly functions. *)
+  switch_fraction : float;  (** Blocks terminated by jump tables. *)
+  loop_fraction : float;  (** Blocks starting loop back-edges. *)
+  rodata_per_unit : int;
+  data_per_unit : int;
+  hazards : hazards;
+  requests : int;  (** Workload requests for performance runs. *)
+  metric : [ `Walltime | `Latency | `Qps ];  (** Table 3 metric. *)
+  hugepages : bool;  (** Production uses 2M text pages (Search). *)
+}
+
+(** Paper-reported characteristics, for Table 2 comparison columns. *)
+type paper_row = {
+  paper_text_bytes : int;
+  paper_funcs : int;
+  paper_blocks : int;
+  paper_cold_pct : float;
+}
+
+val paper_row : t -> paper_row option

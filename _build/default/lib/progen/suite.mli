@@ -1,0 +1,28 @@
+(** The benchmark suite of the paper's evaluation (§5, Table 2):
+    4 warehouse-scale applications, 2 open-source workloads and the
+    SPEC2017 integer benchmarks (520.omnetpp excluded, as in the paper).
+
+    Warehouse programs are generated at reduced [scale]; SPEC programs
+    at 1:1. *)
+
+val clang : Spec.t
+
+val mysql : Spec.t
+
+val spanner : Spec.t
+
+val search : Spec.t
+
+val bigtable : Spec.t
+
+val superroot : Spec.t
+
+(** The open-source + warehouse set of Fig 4/5/6/9 and Table 3. *)
+val large : Spec.t list
+
+(** The SPEC2017 integer benchmarks of Fig 4/5/6/9 (right panels). *)
+val spec2017 : Spec.t list
+
+val all : Spec.t list
+
+val by_name : string -> Spec.t option

@@ -1,0 +1,1 @@
+lib/propeller/dcfg.ml: Array Hashtbl Linker List Objfile Option Perfmon String

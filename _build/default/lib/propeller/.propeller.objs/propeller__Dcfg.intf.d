@@ -1,0 +1,1 @@
+lib/propeller/dcfg.mli: Hashtbl Linker Perfmon

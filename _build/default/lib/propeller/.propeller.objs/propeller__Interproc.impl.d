@@ -1,0 +1,1 @@
+lib/propeller/interproc.ml: Array Codegen Dcfg Fun Hashtbl Layout List Objfile Option String

@@ -1,0 +1,1 @@
+lib/propeller/interproc.mli: Codegen Dcfg Layout

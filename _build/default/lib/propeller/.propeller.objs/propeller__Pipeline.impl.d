@@ -1,0 +1,1 @@
+lib/propeller/pipeline.ml: Buildsys Codegen Exec Linker List Perfmon Prefetch Printf Wpa

@@ -1,0 +1,1 @@
+lib/propeller/pipeline.mli: Buildsys Codegen Exec Ir Linker Perfmon Prefetch Wpa

@@ -1,0 +1,1 @@
+lib/propeller/prefetch.ml: Dcfg Hashtbl Linker List Perfmon

@@ -1,0 +1,1 @@
+lib/propeller/prefetch.mli: Linker Perfmon

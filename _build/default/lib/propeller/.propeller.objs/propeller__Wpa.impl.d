@@ -1,0 +1,1 @@
+lib/propeller/wpa.ml: Array Buildsys Codegen Dcfg Hashtbl Interproc Layout Linker List Objfile Option Perfmon String

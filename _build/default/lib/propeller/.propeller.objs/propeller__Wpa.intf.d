@@ -1,0 +1,1 @@
+lib/propeller/wpa.mli: Codegen Dcfg Layout Linker Perfmon

@@ -1,0 +1,168 @@
+type mblock = { lo : int; msize : int; owner : string; bb : int; mutable count : int }
+
+type dfunc = {
+  dname : string;
+  dblocks : (int, mblock) Hashtbl.t;
+  dedges : (int * int, int ref) Hashtbl.t;
+  mutable dsamples : int;
+}
+
+type t = {
+  funcs : (string, dfunc) Hashtbl.t;
+  call_arcs : (string * int * string, int ref) Hashtbl.t;
+      (** (caller, caller bb, callee) -> count *)
+  block_index : mblock array;
+  size_of : (string * int, int) Hashtbl.t;
+}
+
+let interval_index (binary : Linker.Binary.t) =
+  let items = ref [] in
+  List.iter
+    (fun (fm : Objfile.Bbmap.func_map) ->
+      match Linker.Binary.symbol_addr binary fm.func with
+      | None -> ()
+      | Some sym_addr ->
+        let owner = Objfile.Symname.owner fm.func in
+        List.iter
+          (fun (e : Objfile.Bbmap.entry) ->
+            items :=
+              { lo = sym_addr + e.offset; msize = e.size; owner; bb = e.bb_id; count = 0 }
+              :: !items)
+          fm.entries)
+    binary.bb_maps;
+  let arr = Array.of_list !items in
+  Array.sort (fun a b -> compare a.lo b.lo) arr;
+  arr
+
+let find_in arr addr =
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let b = arr.(mid) in
+      if addr < b.lo then search lo (mid - 1)
+      else if addr >= b.lo + b.msize then search (mid + 1) hi
+      else Some (mid, b)
+    end
+  in
+  search 0 (Array.length arr - 1)
+
+let build_with ~profile blocks =
+  let funcs : (string, dfunc) Hashtbl.t = Hashtbl.create 1024 in
+  let dfunc_of owner =
+    match Hashtbl.find_opt funcs owner with
+    | Some d -> d
+    | None ->
+      let d =
+        { dname = owner; dblocks = Hashtbl.create 16; dedges = Hashtbl.create 16; dsamples = 0 }
+      in
+      Hashtbl.replace funcs owner d;
+      d
+  in
+  let note_block (b : mblock) n =
+    b.count <- b.count + n;
+    let d = dfunc_of b.owner in
+    d.dsamples <- d.dsamples + n;
+    if not (Hashtbl.mem d.dblocks b.bb) then Hashtbl.replace d.dblocks b.bb b
+  in
+  let note_edge owner src_bb dst_bb n =
+    let d = dfunc_of owner in
+    match Hashtbl.find_opt d.dedges (src_bb, dst_bb) with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace d.dedges (src_bb, dst_bb) (ref n)
+  in
+  let call_arcs : (string * int * string, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let note_call caller caller_bb callee n =
+    match Hashtbl.find_opt call_arcs (caller, caller_bb, callee) with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace call_arcs (caller, caller_bb, callee) (ref n)
+  in
+  (* Taken-branch records: the branch retires at [src] (its end
+     address); the block containing src-1 is the source block. *)
+  Hashtbl.iter
+    (fun (src, dst) n ->
+      match find_in blocks (src - 1), find_in blocks dst with
+      | Some (_, sb), Some (_, db) ->
+        note_block db n;
+        if String.equal sb.owner db.owner then note_edge sb.owner sb.bb db.bb n
+        else if db.bb = 0 && db.lo = dst then note_call sb.owner sb.bb db.owner n
+        (* otherwise: a return landing mid-block; not a CFG edge *)
+      | None, _ | _, None -> ())
+    profile.Perfmon.Lbr.branches;
+  (* Sequential ranges between consecutive LBR records: fall-through
+     edges and block counts. *)
+  Hashtbl.iter
+    (fun (range_lo, range_hi) n ->
+      match find_in blocks range_lo with
+      | None -> ()
+      | Some (i0, _) ->
+        (* Execution covered [range_lo, range_hi): range_hi is the end
+           address of the next recorded branch, so a block *starting*
+           exactly there never ran. *)
+        let rec walk i =
+          if i < Array.length blocks then begin
+            let b = blocks.(i) in
+            if b.lo < range_hi then begin
+              note_block b n;
+              (if i + 1 < Array.length blocks then begin
+                 let nxt = blocks.(i + 1) in
+                 if
+                   nxt.lo = b.lo + b.msize
+                   && String.equal nxt.owner b.owner
+                   && nxt.lo < range_hi
+                 then note_edge b.owner b.bb nxt.bb n
+               end);
+              walk (i + 1)
+            end
+          end
+        in
+        walk i0)
+    profile.Perfmon.Lbr.ranges;
+  let size_of : (string * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  Array.iter (fun b -> Hashtbl.replace size_of (b.owner, b.bb) b.msize) blocks;
+  { funcs; call_arcs; block_index = blocks; size_of }
+
+let build ~profile ~(binary : Linker.Binary.t) =
+  if binary.bb_maps = [] then
+    invalid_arg "Dcfg.build: binary carries no .llvm_bb_addr_map (not a metadata build)";
+  build_with ~profile (interval_index binary)
+
+(* Disassembly-equivalent view: block boundaries recovered from the
+   binary's placed blocks instead of metadata. This is what a (perfect)
+   recursive disassembler would reconstruct; BOLT-style tools consume
+   profiles through this path. *)
+let build_of_blocks ~profile ~(binary : Linker.Binary.t) =
+  let items = ref [] in
+  Hashtbl.iter
+    (fun (func, bb) (info : Linker.Binary.block_info) ->
+      ignore func;
+      ignore bb;
+      items :=
+        { lo = info.addr; msize = info.size; owner = info.func; bb = info.block; count = 0 }
+        :: !items)
+    binary.blocks;
+  let arr = Array.of_list !items in
+  Array.sort (fun a b -> compare a.lo b.lo) arr;
+  build_with ~profile arr
+
+let hot_funcs t =
+  Hashtbl.fold (fun _ d acc -> if d.dsamples > 0 then d :: acc else acc) t.funcs []
+  |> List.sort (fun a b -> compare a.dname b.dname)
+
+let num_blocks t =
+  Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.dblocks) t.funcs 0
+
+let num_edges t = Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.dedges) t.funcs 0
+
+let find_block t addr = Option.map snd (find_in t.block_index addr)
+
+let func_arcs t =
+  let agg = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (caller, _, callee) r ->
+      match Hashtbl.find_opt agg (caller, callee) with
+      | Some a -> a := !a + !r
+      | None -> Hashtbl.add agg (caller, callee) (ref !r))
+    t.call_arcs;
+  Hashtbl.fold (fun (caller, callee) r acc -> (caller, callee, float_of_int !r) :: acc) agg []
+  |> List.sort compare

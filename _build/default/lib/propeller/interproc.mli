@@ -1,0 +1,18 @@
+(** Inter-procedural code layout (paper §4.7).
+
+    Runs Ext-TSP over the merged whole-program CFG — intra-function
+    edges plus block-granular call arcs — so a multi-modal function can
+    split into several clusters, each placed near its callers. Produces
+    cluster directives and the global symbol ordering. *)
+
+type result = {
+  plans : Codegen.Directive.t;
+  ordering : string list;
+  score : float;  (** Global Ext-TSP objective achieved. *)
+  global_nodes : int;  (** Size of the merged graph (cost driver). *)
+}
+
+(** [layout ~params ~dcfg ~split_threshold ~entry_func] computes the
+    global layout over blocks with count > [split_threshold]. *)
+val layout :
+  params:Layout.Exttsp.params -> dcfg:Dcfg.t -> split_threshold:int -> entry_func:string -> result

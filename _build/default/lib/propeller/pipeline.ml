@@ -1,0 +1,138 @@
+type config = {
+  wpa : Wpa.config;
+  lbr : Perfmon.Lbr.config;
+  profile_run : Exec.Interp.config;
+  hugepages : bool;
+  prefetch : bool;  (** Enable §3.5 software prefetch insertion. *)
+  pebs : Perfmon.Pebs.config;
+}
+
+let default_config =
+  {
+    wpa = Wpa.default_config;
+    lbr = Perfmon.Lbr.default_config;
+    profile_run = Exec.Interp.default_config;
+    hugepages = false;
+    prefetch = false;
+    pebs = Perfmon.Pebs.default_config;
+  }
+
+type phase_times = {
+  metadata_build_s : float;
+  profiling_s : float;
+  conversion_s : float;
+  optimize_build_s : float;
+}
+
+type result = {
+  metadata_build : Buildsys.Driver.result;
+  profile : Perfmon.Lbr.profile;
+  wpa : Wpa.result;
+  prefetch : Prefetch.result option;
+  optimized_build : Buildsys.Driver.result;
+  times : phase_times;
+  hot_objects : int;
+  total_objects : int;
+}
+
+let optimized_binary r = r.optimized_build.binary
+
+let metadata_options =
+  ( { Codegen.default_options with emit_bb_addr_map = true; pgo_layout = true },
+    { Linker.Link.default_options with keep_bb_addr_map = true } )
+
+let optimize_options ?(hugepages = false) (wpa : Wpa.result) =
+  ( { Codegen.default_options with emit_bb_addr_map = true; plans = wpa.plans },
+    {
+      Linker.Link.default_options with
+      keep_bb_addr_map = false;
+      ordering = Some wpa.ordering;
+      text_align = (if hugepages then 2 * 1024 * 1024 else 4096);
+    } )
+
+let baseline_build ~env ~program ~name =
+  Buildsys.Driver.build env ~name
+    ~program
+    ~codegen_options:{ Codegen.default_options with emit_bb_addr_map = false; pgo_layout = true }
+    ~link_options:Linker.Link.default_options
+
+(* The modelled load-test duration: production profiling runs for a
+   fixed wall-clock window regardless of binary (Table 5 'Profile'). *)
+let profiling_window_seconds = 8.0 *. 60.0
+
+(* One optimization round. [prev] carries the previous round's analysis
+   so that round N profiles a binary already laid out by round N-1 (the
+   "additional round of hardware profiling" of paper 4.6). *)
+let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
+  let cg_meta, ld_meta = metadata_options in
+  let cg_meta, ld_meta =
+    match prev with
+    | None -> (cg_meta, ld_meta)
+    | Some (w : Wpa.result) ->
+      ( { cg_meta with Codegen.plans = w.plans },
+        { ld_meta with Linker.Link.ordering = Some w.ordering } )
+  in
+  let metadata_build =
+    Buildsys.Driver.build env
+      ~name:(Printf.sprintf "%s.pm%d" name round)
+      ~program ~codegen_options:cg_meta ~link_options:ld_meta
+  in
+  (* Phase 3: profile the metadata binary under load. LBR drives the
+     layout; PEBS miss samples drive prefetch insertion when enabled. *)
+  let image = Exec.Image.build program metadata_build.binary in
+  let profile = Perfmon.Lbr.create_profile () in
+  let pebs_profile = Perfmon.Pebs.create_profile () in
+  let collector =
+    let lbr = Perfmon.Lbr.collector config.lbr profile in
+    if config.prefetch then Exec.Event.tee lbr (Perfmon.Pebs.collector config.pebs pebs_profile)
+    else lbr
+  in
+  let (_ : Exec.Interp.stats) = Exec.Interp.run image config.profile_run collector in
+  let wpa = Wpa.analyze ~config:config.wpa ~profile ~binary:metadata_build.binary () in
+  let prefetch =
+    if config.prefetch then
+      Some (Prefetch.analyze ~pebs:pebs_profile ~binary:metadata_build.binary ())
+    else None
+  in
+  (* Phase 4: regenerate hot objects, reuse cold ones, relink. *)
+  let cg_opt, ld_opt = optimize_options ~hugepages:config.hugepages wpa in
+  let cg_opt =
+    match prefetch with
+    | Some p -> { cg_opt with Codegen.prefetch_sites = p.sites }
+    | None -> cg_opt
+  in
+  let optimized_build =
+    Buildsys.Driver.build env
+      ~name:(Printf.sprintf "%s.po%d" name round)
+      ~program ~codegen_options:cg_opt ~link_options:ld_opt
+  in
+  {
+    metadata_build;
+    profile;
+    wpa;
+    prefetch;
+    optimized_build;
+    times =
+      {
+        metadata_build_s = metadata_build.wall_seconds;
+        profiling_s = profiling_window_seconds;
+        conversion_s = wpa.cpu_seconds;
+        optimize_build_s = optimized_build.wall_seconds;
+      };
+    hot_objects = optimized_build.cache_misses;
+    total_objects = List.length optimized_build.objs;
+  }
+
+let run ?(config = default_config) ~env ~program ~name () =
+  run_round ~config ~env ~program ~name ~round:1 ~prev:None ()
+
+let run_rounds ?(config = default_config) ~rounds ~env ~program ~name () =
+  if rounds < 1 then invalid_arg "Pipeline.run_rounds: rounds must be >= 1";
+  let rec go r prev acc =
+    if r > rounds then List.rev acc
+    else begin
+      let result = run_round ~config ~env ~program ~name ~round:r ~prev () in
+      go (r + 1) (Some result.wpa) (result :: acc)
+    end
+  in
+  go 1 None []

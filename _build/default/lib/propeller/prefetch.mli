@@ -1,0 +1,30 @@
+(** Profile guided, post-link software prefetch insertion (paper §3.5).
+
+    "The whole-program analysis of cache miss profiles determines
+    prefetch insertion points. A summary-based directive can then drive
+    the distributed code generation actions that modify the objects and
+    insert prefetch instructions."
+
+    The analysis maps PEBS miss samples back to machine basic blocks
+    through the BB address map (no disassembly, like the layout path)
+    and nominates the blocks responsible for the top share of misses. *)
+
+type config = {
+  coverage : float;
+      (** Nominate the hottest blocks covering this fraction of all
+          sampled misses (prefetching rare sites wastes code bytes). *)
+  min_samples : int;  (** Ignore blocks below this sample count. *)
+}
+
+val default_config : config
+
+type result = {
+  sites : (string * int) list;  (** (function, block) directives. *)
+  sampled_misses : int;
+  covered_misses : int;  (** Samples attributed to nominated sites. *)
+}
+
+(** [analyze ?config ~pebs ~binary ()] computes insertion directives
+    against a metadata binary. *)
+val analyze :
+  ?config:config -> pebs:Perfmon.Pebs.profile -> binary:Linker.Binary.t -> unit -> result

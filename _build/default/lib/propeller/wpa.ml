@@ -1,0 +1,166 @@
+type mode = Intra | Interproc
+
+type config = {
+  mode : mode;
+  exttsp : Layout.Exttsp.params;
+  split_threshold : int;
+  hfsort_max_cluster : int;
+  split_functions : bool;
+}
+
+let default_config =
+  {
+    mode = Intra;
+    exttsp = Layout.Exttsp.default_params;
+    split_threshold = 0;
+    hfsort_max_cluster = 1 lsl 20;
+    split_functions = true;
+  }
+
+type result = {
+  plans : Codegen.Directive.t;
+  ordering : string list;
+  hot_funcs : int;
+  dcfg_blocks : int;
+  dcfg_edges : int;
+  layout_score : float;
+  peak_mem_bytes : int;
+  cpu_seconds : float;
+}
+
+(* Ext-TSP over one function's sampled blocks. Returns the hot block
+   order and the layout score; shared by Propeller's WPA and the BOLT
+   baseline (its cache+ algorithm is the same objective). *)
+let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
+    (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
+  let hot_bbs =
+    Hashtbl.fold
+      (fun bb (b : Dcfg.mblock) acc -> if b.count > split_threshold then bb :: acc else acc)
+      d.dblocks []
+    |> List.sort_uniq compare
+  in
+  let hot_bbs = if List.mem 0 hot_bbs then hot_bbs else 0 :: hot_bbs in
+  let hot_arr = Array.of_list hot_bbs in
+  let idx_of = Hashtbl.create 16 in
+  Array.iteri (fun i bb -> Hashtbl.replace idx_of bb i) hot_arr;
+  let sizes =
+    Array.map
+      (fun bb -> Option.value ~default:16 (Hashtbl.find_opt dcfg.size_of (d.dname, bb)))
+      hot_arr
+  in
+  let weights =
+    Array.map
+      (fun bb ->
+        match Hashtbl.find_opt d.dblocks bb with
+        | Some b -> float_of_int b.count
+        | None -> 0.0)
+      hot_arr
+  in
+  let edges =
+    Hashtbl.fold
+      (fun (s, t) r acc ->
+        match Hashtbl.find_opt idx_of s, Hashtbl.find_opt idx_of t with
+        | Some si, Some ti -> (si, ti, float_of_int !r) :: acc
+        | None, _ | _, None -> acc)
+      d.dedges []
+    |> List.sort compare
+  in
+  let entry = Hashtbl.find idx_of 0 in
+  let order = Layout.Exttsp.order ~params ~sizes ~weights ~edges ~entry () in
+  let score = Layout.Exttsp.score ~params ~sizes ~edges ~order () in
+  (List.map (fun i -> hot_arr.(i)) order, score)
+
+(* Intra-function plan: Ext-TSP over the function's sampled blocks; the
+   cold remainder becomes the implicit .cold cluster in codegen. *)
+let intra_plan config (dcfg : Dcfg.t) (d : Dcfg.dfunc) score_acc =
+  let ordered_bbs, score =
+    block_layout ~params:config.exttsp ~split_threshold:config.split_threshold dcfg d
+  in
+  score_acc := !score_acc +. score;
+  if config.split_functions then
+    {
+      Codegen.Directive.func = d.dname;
+      clusters =
+        [ { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = ordered_bbs } ];
+    }
+  else begin
+    (* Splitting disabled: keep the whole function contiguous by
+       appending unsampled blocks to the primary cluster. Blocks the
+       address map knows but the profile never saw are appended in id
+       order. *)
+    let all_bbs = ref [] in
+    Array.iter
+      (fun (b : Dcfg.mblock) -> if String.equal b.owner d.dname then all_bbs := b.bb :: !all_bbs)
+      dcfg.block_index;
+    let rest =
+      List.sort_uniq compare !all_bbs |> List.filter (fun bb -> not (List.mem bb ordered_bbs))
+    in
+    {
+      Codegen.Directive.func = d.dname;
+      clusters =
+        [ { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = ordered_bbs @ rest } ];
+    }
+  end
+
+let analyze ?(config = default_config) ~profile ~(binary : Linker.Binary.t) () =
+  let dcfg = Dcfg.build ~profile ~binary in
+  let hot = Dcfg.hot_funcs dcfg in
+  let dcfg_blocks = Dcfg.num_blocks dcfg in
+  let dcfg_edges = Dcfg.num_edges dcfg in
+  let score = ref 0.0 in
+  let plans, ordering =
+    match config.mode with
+    | Intra ->
+      let plans = List.map (fun d -> intra_plan config dcfg d score) hot in
+      (* Global function order: C3 over the hot call graph. *)
+      let hot_names = Array.of_list (List.map (fun (d : Dcfg.dfunc) -> d.dname) hot) in
+      let name_idx = Hashtbl.create 64 in
+      Array.iteri (fun i nm -> Hashtbl.replace name_idx nm i) hot_names;
+      let fsizes =
+        Array.map
+          (fun nm ->
+            let d = Hashtbl.find dcfg.funcs nm in
+            Hashtbl.fold (fun _ (b : Dcfg.mblock) acc -> acc + b.msize) d.dblocks 0)
+          hot_names
+      in
+      let fsamples =
+        Array.map (fun nm -> float_of_int (Hashtbl.find dcfg.funcs nm).dsamples) hot_names
+      in
+      let arcs =
+        Dcfg.func_arcs dcfg
+        |> List.filter_map (fun (caller, callee, w) ->
+               match Hashtbl.find_opt name_idx caller, Hashtbl.find_opt name_idx callee with
+               | Some a, Some b -> Some (a, b, w)
+               | None, _ | _, None -> None)
+      in
+      let func_order =
+        Layout.Hfsort.order ~sizes:fsizes ~samples:fsamples ~arcs
+          ~max_cluster_size:config.hfsort_max_cluster ()
+      in
+      let primaries = List.map (fun i -> hot_names.(i)) func_order in
+      let colds =
+        if config.split_functions then List.map Objfile.Symname.cold primaries else []
+      in
+      (plans, primaries @ colds)
+    | Interproc ->
+      let r =
+        Interproc.layout ~params:config.exttsp ~dcfg ~split_threshold:config.split_threshold
+          ~entry_func:binary.entry_symbol
+      in
+      score := r.score;
+      (r.plans, r.ordering)
+  in
+  let profile_bytes = Perfmon.Lbr.raw_bytes Perfmon.Lbr.default_config profile in
+  {
+    plans;
+    ordering;
+    hot_funcs = List.length hot;
+    dcfg_blocks;
+    dcfg_edges;
+    layout_score = !score;
+    peak_mem_bytes = Buildsys.Costmodel.wpa_mem ~profile_bytes ~dcfg_blocks ~dcfg_edges;
+    cpu_seconds =
+      Buildsys.Costmodel.wpa_seconds
+        ~profile_edges:(Perfmon.Lbr.distinct_edges profile)
+        ~dcfg_blocks;
+  }

@@ -1,0 +1,56 @@
+(** Phase 3 — Whole Program Analysis (paper §3.3).
+
+    Consumes (a) the hardware LBR profile and (b) the metadata binary's
+    symbol table and [.llvm_bb_addr_map] — and nothing else. LBR
+    addresses are mapped to machine basic blocks through the address
+    map; a dynamic control flow graph (DCFG) is built incrementally
+    from the samples; Ext-TSP computes per-function (or whole-program)
+    block orders; the results are emitted as compiler directives
+    ([cc_prof]) and a linker symbol ordering ([ld_prof]).
+
+    No disassembly happens anywhere: block boundaries, sizes and ids all
+    come from the metadata section. *)
+
+type mode =
+  | Intra  (** Per-function layout; clusters = hot + cold (§3.5). *)
+  | Interproc
+      (** Whole-program Ext-TSP over the merged CFG with call edges;
+          functions may split into multiple placed clusters (§4.7). *)
+
+type config = {
+  mode : mode;
+  exttsp : Layout.Exttsp.params;
+  split_threshold : int;  (** Block counts <= threshold are cold. *)
+  hfsort_max_cluster : int;
+  split_functions : bool;  (** Emit [.cold] clusters at all (§4.6). *)
+}
+
+val default_config : config
+
+type result = {
+  plans : Codegen.Directive.t;  (** cc_prof: per-function clusters. *)
+  ordering : string list;  (** ld_prof: global section symbol order. *)
+  hot_funcs : int;
+  dcfg_blocks : int;  (** Blocks with observed samples. *)
+  dcfg_edges : int;
+  layout_score : float;  (** Total Ext-TSP objective achieved. *)
+  peak_mem_bytes : int;  (** Modelled Phase-3 peak RSS (Fig 4). *)
+  cpu_seconds : float;  (** Modelled conversion+analysis time. *)
+}
+
+(** [block_layout ?params ?split_threshold dcfg dfunc] computes the
+    Ext-TSP hot-block order of one function and its layout score;
+    shared with the BOLT baseline (same objective, different
+    delivery). *)
+val block_layout :
+  ?params:Layout.Exttsp.params ->
+  ?split_threshold:int ->
+  Dcfg.t ->
+  Dcfg.dfunc ->
+  int list * float
+
+(** [analyze ?config ~profile ~binary ()] runs the whole-program
+    analysis against a metadata binary (one linked with
+    [keep_bb_addr_map = true]; raises [Invalid_argument] otherwise). *)
+val analyze :
+  ?config:config -> profile:Perfmon.Lbr.profile -> binary:Linker.Binary.t -> unit -> result

@@ -1,0 +1,1 @@
+lib/support/digesting.ml: Buffer Char Format Int64 List Printf String

@@ -1,0 +1,33 @@
+type t = { hi : int64; lo : int64 }
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare a b =
+  let c = Int64.compare a.hi b.hi in
+  if c <> 0 then c else Int64.compare a.lo b.lo
+
+let hash a = Int64.to_int (Int64.logxor a.hi a.lo)
+
+let fnv ~offset ~prime s =
+  let h = ref offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let of_string s =
+  {
+    hi = fnv ~offset:0xCBF29CE484222325L ~prime:0x100000001B3L s;
+    lo = fnv ~offset:0x84222325CBF29CE4L ~prime:0x100000001B3L (s ^ "\x01");
+  }
+
+let to_hex d = Printf.sprintf "%016Lx%016Lx" d.hi d.lo
+
+let concat ds =
+  let buf = Buffer.create (32 * List.length ds) in
+  List.iter (fun d -> Buffer.add_string buf (to_hex d)) ds;
+  of_string (Buffer.contents buf)
+
+let pp fmt d = Format.pp_print_string fmt (to_hex d)

@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic choice in the simulator flows through this module so
+    that all experiments are reproducible bit-for-bit. The generator is
+    splitmix64, which is cheap, has a 64-bit state, and supports O(1)
+    derivation of independent sub-streams ({!split}). *)
+
+type t
+
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+val create : int64 -> t
+
+(** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to
+    derive stable per-entity streams (e.g. one stream per function). *)
+val of_string : string -> t
+
+(** [split t tag] derives an independent generator from [t] and [tag]
+    without perturbing [t]. *)
+val split : t -> int -> t
+
+(** [next t] returns the next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] returns a uniform integer in [\[0, bound)]. [bound] must
+    be positive. *)
+val int : t -> int -> int
+
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t p] returns [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [geometric t p] samples a geometric number of trials (>= 1) with
+    success probability [p]; capped at 10_000 to bound loops. *)
+val geometric : t -> float -> int
+
+(** [pareto t ~alpha ~xmin] samples a Pareto-distributed float; used for
+    heavy-tailed hotness distributions typical of warehouse workloads. *)
+val pareto : t -> alpha:float -> xmin:float -> float
+
+(** [choose t arr] picks a uniform element of [arr]. [arr] must be
+    non-empty. *)
+val choose : t -> 'a array -> 'a
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [hash_choice key1 key2 p] is a stateless biased coin: returns [true]
+    with probability [p], determined only by the two integer keys. The
+    execution engine uses it so that a program's control flow is a pure
+    function of (block id, visit count), independent of code layout. *)
+val hash_choice : int -> int -> float -> bool
+
+(** [hash_float key1 key2] is the underlying stateless uniform float in
+    [\[0, 1)]; used for multi-way choices (switches, virtual calls). *)
+val hash_float : int -> int -> float

@@ -1,0 +1,37 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> if x <= 0.0 then neg_infinity else log x) xs in
+    exp (mean logs)
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    arr.(idx)
+
+let ratio_pct a b = if b = 0.0 then 0.0 else (a -. b) /. b *. 100.0
+
+let pp_bytes fmt n =
+  let f = float_of_int n in
+  if f >= 1.0e9 then Format.fprintf fmt "%.1f GB" (f /. 1.0e9)
+  else if f >= 1.0e6 then Format.fprintf fmt "%.0f MB" (f /. 1.0e6)
+  else if f >= 1.0e3 then Format.fprintf fmt "%.0f KB" (f /. 1.0e3)
+  else Format.fprintf fmt "%d B" n
+
+let pp_count fmt n =
+  let f = float_of_int n in
+  if f >= 1.0e6 then Format.fprintf fmt "%.1f M" (f /. 1.0e6)
+  else if f >= 1.0e3 then Format.fprintf fmt "%.0f K" (f /. 1.0e3)
+  else Format.fprintf fmt "%d" n

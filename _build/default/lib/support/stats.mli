@@ -1,0 +1,24 @@
+(** Small statistics helpers used by benches and the cost models. *)
+
+(** [mean xs] is the arithmetic mean; 0 for the empty list. *)
+val mean : float list -> float
+
+(** [geomean xs] is the geometric mean of positive values; 0 for empty. *)
+val geomean : float list -> float
+
+(** [percentile p xs] is the [p]-th percentile (0..100) by nearest-rank on
+    a sorted copy; raises [Invalid_argument] on empty input. *)
+val percentile : float -> float list -> float
+
+(** [sum xs] sums the list. *)
+val sum : float list -> float
+
+(** [ratio_pct a b] is [(a - b) / b * 100.], the percent change of [a]
+    relative to [b]. *)
+val ratio_pct : float -> float -> float
+
+(** Human-readable byte counts, e.g. [72 MB], [413 MB], [1.7 GB]. *)
+val pp_bytes : Format.formatter -> int -> unit
+
+(** Human-readable counts, e.g. [160 K], [2.1 M]. *)
+val pp_count : Format.formatter -> int -> unit

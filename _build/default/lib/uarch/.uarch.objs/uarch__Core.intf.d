@@ -1,0 +1,1 @@
+lib/uarch/core.mli: Btb Cache Dsb Exec Tlb

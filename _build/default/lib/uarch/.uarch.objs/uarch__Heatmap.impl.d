@@ -1,0 +1,1 @@
+lib/uarch/heatmap.ml: Array Buffer Exec Printf

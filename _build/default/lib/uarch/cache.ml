@@ -1,0 +1,66 @@
+type params = { sets : int; ways : int; line_bytes : int }
+
+let l1i_params = { sets = 64; ways = 8; line_bytes = 64 }
+
+let l2_params = { sets = 1024; ways = 16; line_bytes = 64 }
+
+type t = {
+  p : params;
+  tags : int array;  (** [sets * ways], -1 = invalid *)
+  lru : int array;  (** per-entry last-use stamp *)
+  mutable clock : int;
+  line_shift : int;
+  set_mask : int;
+}
+
+let log2 v =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go v 0
+
+let create p =
+  {
+    p;
+    tags = Array.make (p.sets * p.ways) (-1);
+    lru = Array.make (p.sets * p.ways) 0;
+    clock = 0;
+    line_shift = log2 p.line_bytes;
+    set_mask = p.sets - 1;
+  }
+
+let line t addr = addr lsr t.line_shift
+
+let access t addr =
+  let ln = addr lsr t.line_shift in
+  let set = ln land t.set_mask in
+  let base = set * t.p.ways in
+  t.clock <- t.clock + 1;
+  let rec find w =
+    if w >= t.p.ways then None
+    else if t.tags.(base + w) = ln then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.lru.(base + w) <- t.clock;
+    true
+  | None ->
+    (* Evict LRU way. *)
+    let victim = ref 0 and oldest = ref max_int in
+    for w = 0 to t.p.ways - 1 do
+      if t.tags.(base + w) = -1 && !oldest > -1 then begin
+        victim := w;
+        oldest := -1
+      end
+      else if !oldest > -1 && t.lru.(base + w) < !oldest then begin
+        victim := w;
+        oldest := t.lru.(base + w)
+      end
+    done;
+    t.tags.(base + !victim) <- ln;
+    t.lru.(base + !victim) <- t.clock;
+    false
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.lru 0 (Array.length t.lru) 0;
+  t.clock <- 0

@@ -1,0 +1,27 @@
+(** Set-associative cache with LRU replacement, used for L1i and L2. *)
+
+type params = {
+  sets : int;  (** Power of two. *)
+  ways : int;
+  line_bytes : int;  (** Power of two. *)
+}
+
+(** Skylake-like 32 KiB, 8-way, 64 B lines. *)
+val l1i_params : params
+
+(** Skylake-like 1 MiB unified L2 (modelled for code only), 16-way. *)
+val l2_params : params
+
+type t
+
+val create : params -> t
+
+(** [access t addr] touches the line containing [addr]; returns [true]
+    on hit. *)
+val access : t -> int -> bool
+
+(** [line t addr] is the line index of [addr] (for consumers that dedupe
+    per-line work). *)
+val line : t -> int -> int
+
+val reset : t -> unit

@@ -1,0 +1,203 @@
+type config = {
+  l1i : Cache.params;
+  l2 : Cache.params;
+  l3 : Cache.params;
+  itlb : Tlb.params;
+  btb : Btb.params;
+  dsb : Dsb.params;
+  hugepages : bool;
+  page_scale_bits : int;
+}
+
+let default_config =
+  {
+    l1i = Cache.l1i_params;
+    l2 = Cache.l2_params;
+    l3 = { Cache.sets = 8192; ways = 16; line_bytes = 64 };
+    itlb = Tlb.skylake;
+    btb = Btb.skylake;
+    dsb = Dsb.skylake;
+    hugepages = false;
+    page_scale_bits = 0;
+  }
+
+type counters = {
+  mutable instructions : int;
+  mutable fetch_events : int;
+  mutable i1_l1i_miss : int;
+  mutable i2_l2_code_miss : int;
+  mutable i3_l3_code_miss : int;
+  mutable t1_itlb_miss : int;
+  mutable t2_itlb_stall_miss : int;
+  mutable b1_baclears : int;
+  mutable b2_taken_branches : int;
+  mutable dsb_misses : int;
+  mutable cond_branches : int;
+  mutable dmisses : int;  (** uncovered delinquent-load misses *)
+  mutable cycles : float;
+}
+
+type t = {
+  l1i : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  itlb : Tlb.t;
+  btb : Btb.t;
+  dsb : Dsb.t;
+  c : counters;
+  hugepages : bool;
+  mutable last_page : int;
+}
+
+(* Penalty model (cycles). Values are in the range hardware manuals and
+   top-down analyses quote; only ratios matter for the benches. *)
+let decode_width = 4.0
+
+
+
+let l2_hit_penalty = 12.0
+
+let l3_hit_penalty = 40.0
+
+let dram_penalty = 120.0
+
+let itlb_walk_penalty_4k = 25.0
+
+let itlb_walk_penalty_2m = 18.0
+
+let resteer_penalty = 10.0
+
+let taken_branch_bubble = 1.0
+
+let dsb_switch_penalty = 2.0
+
+let dmiss_penalty = 80.0 (* average L3/DRAM data stall *)
+
+let create (config : config) =
+  {
+    l1i = Cache.create config.l1i;
+    l2 = Cache.create config.l2;
+    l3 = Cache.create config.l3;
+    itlb =
+      Tlb.create ~page_scale_bits:config.page_scale_bits config.itlb
+        ~hugepages:config.hugepages;
+    btb = Btb.create config.btb;
+    dsb = Dsb.create config.dsb;
+    hugepages = config.hugepages;
+    c =
+      {
+        instructions = 0;
+        fetch_events = 0;
+        i1_l1i_miss = 0;
+        i2_l2_code_miss = 0;
+        i3_l3_code_miss = 0;
+        t1_itlb_miss = 0;
+        t2_itlb_stall_miss = 0;
+        b1_baclears = 0;
+        b2_taken_branches = 0;
+        dsb_misses = 0;
+        cond_branches = 0;
+        dmisses = 0;
+        cycles = 0.0;
+      };
+    last_page = -1;
+  }
+
+let counters t = t.c
+
+let cycles t = t.c.cycles
+
+let fetch t addr len insts =
+  let c = t.c in
+  c.fetch_events <- c.fetch_events + 1;
+  let insts = max 1 insts in
+  c.instructions <- c.instructions + insts;
+  c.cycles <- c.cycles +. (float_of_int insts /. decode_width);
+  (* Touch every 64B line in [addr, addr+len). *)
+  let first_line = addr lsr 6 and last_line = (addr + len - 1) lsr 6 in
+  for ln = first_line to last_line do
+    let a = ln lsl 6 in
+    let l1_hit = Cache.access t.l1i a in
+    (* iTLB lookup per page transition. *)
+    let pg = Tlb.page t.itlb a in
+    if pg <> t.last_page then begin
+      t.last_page <- pg;
+      if not (Tlb.access t.itlb a) then begin
+        c.t1_itlb_miss <- c.t1_itlb_miss + 1;
+        if not l1_hit then c.t2_itlb_stall_miss <- c.t2_itlb_stall_miss + 1;
+        c.cycles <-
+          c.cycles +. (if t.hugepages then itlb_walk_penalty_2m else itlb_walk_penalty_4k)
+      end
+    end;
+    if not l1_hit then begin
+      c.i1_l1i_miss <- c.i1_l1i_miss + 1;
+      if Cache.access t.l2 a then c.cycles <- c.cycles +. l2_hit_penalty
+      else begin
+        c.i2_l2_code_miss <- c.i2_l2_code_miss + 1;
+        if Cache.access t.l3 a then c.cycles <- c.cycles +. l3_hit_penalty
+        else begin
+          c.i3_l3_code_miss <- c.i3_l3_code_miss + 1;
+          c.cycles <- c.cycles +. dram_penalty
+        end
+      end
+    end;
+    if not (Dsb.access t.dsb a) then begin
+      c.dsb_misses <- c.dsb_misses + 1;
+      c.cycles <- c.cycles +. dsb_switch_penalty
+    end;
+    (* A second DSB window per line (two 32B windows per 64B line). *)
+    if not (Dsb.access t.dsb (a + 32)) then begin
+      c.dsb_misses <- c.dsb_misses + 1;
+      c.cycles <- c.cycles +. dsb_switch_penalty
+    end
+  done
+
+let branch t ~src ~dst:_ ~kind ~taken =
+  let c = t.c in
+  (match kind with
+  | Exec.Event.Cond -> c.cond_branches <- c.cond_branches + 1
+  | Exec.Event.Uncond | Exec.Event.Indirect | Exec.Event.Call | Exec.Event.Ret -> ());
+  if taken then begin
+    c.b2_taken_branches <- c.b2_taken_branches + 1;
+    c.cycles <- c.cycles +. taken_branch_bubble;
+    if Btb.taken t.btb ~src then begin
+      c.b1_baclears <- c.b1_baclears + 1;
+      c.cycles <- c.cycles +. resteer_penalty
+    end
+  end
+
+let dmiss t =
+  let c = t.c in
+  c.dmisses <- c.dmisses + 1;
+  c.cycles <- c.cycles +. dmiss_penalty
+
+let sink t =
+  {
+    Exec.Event.on_fetch = (fun addr len insts -> fetch t addr len insts);
+    on_branch = (fun ~src ~dst ~kind ~taken -> branch t ~src ~dst ~kind ~taken);
+    on_dmiss = (fun ~src:_ -> dmiss t);
+    on_request = (fun _ -> ());
+  }
+
+let reset t =
+  Cache.reset t.l1i;
+  Cache.reset t.l2;
+  Cache.reset t.l3;
+  Tlb.reset t.itlb;
+  Btb.reset t.btb;
+  Dsb.reset t.dsb;
+  t.last_page <- -1;
+  let c = t.c in
+  c.instructions <- 0;
+  c.fetch_events <- 0;
+  c.i1_l1i_miss <- 0;
+  c.i2_l2_code_miss <- 0;
+  c.i3_l3_code_miss <- 0;
+  c.t1_itlb_miss <- 0;
+  c.t2_itlb_stall_miss <- 0;
+  c.b1_baclears <- 0;
+  c.b2_taken_branches <- 0;
+  c.dsb_misses <- 0;
+  c.cond_branches <- 0;
+  c.dmisses <- 0;
+  c.cycles <- 0.0

@@ -1,0 +1,12 @@
+type params = { windows : int; ways : int; window_bytes : int }
+
+let skylake = { windows = 256; ways = 8; window_bytes = 32 }
+
+type t = { cache : Cache.t }
+
+let create p =
+  { cache = Cache.create { Cache.sets = p.windows / p.ways; ways = p.ways; line_bytes = p.window_bytes } }
+
+let access t addr = Cache.access t.cache addr
+
+let reset t = Cache.reset t.cache

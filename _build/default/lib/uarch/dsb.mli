@@ -1,0 +1,22 @@
+(** Decoded stream buffer (uop cache) model.
+
+    The DSB caches decoded uops keyed by 32-byte code windows; it is
+    sensitive to code alignment and to the number of distinct windows
+    the front end touches. Layout changes that pack hot code tightly
+    usually help large applications but can *increase* DSB misses on
+    small programs whose working set already fits — the effect the paper
+    reports on SPEC (§5.4). *)
+
+type params = { windows : int; ways : int; window_bytes : int }
+
+val skylake : params
+
+type t
+
+val create : params -> t
+
+(** [access t addr] touches the window containing [addr]; [true] on
+    hit. *)
+val access : t -> int -> bool
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+test/test_boltsim.ml: Alcotest Boltsim Buildsys Codegen Exec Hashtbl Ir Lazy Linker Objfile Testutil Uarch

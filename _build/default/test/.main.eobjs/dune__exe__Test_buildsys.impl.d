@@ -1,0 +1,1 @@
+test/test_buildsys.ml: Alcotest Buildsys Codegen Fun Gen Ir Linker List Option QCheck QCheck_alcotest String Support Testutil

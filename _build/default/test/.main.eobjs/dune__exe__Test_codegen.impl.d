@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Codegen Fun Ir Isa List Objfile Option Result String Testutil

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Codegen Exec Fun Ir Linker List Testutil

@@ -1,0 +1,1 @@
+test/test_inline.ml: Alcotest Array Codegen Exec Format Ir Linker List Option Testutil

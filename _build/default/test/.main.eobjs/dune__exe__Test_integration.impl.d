@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buildsys Codegen Exec Hashtbl Ir Linker List Objfile Option Progen Propeller Testutil Uarch

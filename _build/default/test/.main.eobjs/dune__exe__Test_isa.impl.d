@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Isa List Testutil

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Fun Gen Layout List Option Printf QCheck QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Codegen Hashtbl Ir Isa Linker List Objfile Option Testutil

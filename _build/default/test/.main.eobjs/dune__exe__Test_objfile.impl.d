@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Gen Isa List Objfile Option QCheck QCheck_alcotest String Testutil

@@ -1,0 +1,1 @@
+test/test_perfmon.ml: Alcotest Exec Hashtbl Ir Linker Perfmon Testutil

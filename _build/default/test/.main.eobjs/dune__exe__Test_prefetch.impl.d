@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest Buildsys Codegen Exec Ir Isa Linker List Perfmon Propeller Testutil

@@ -1,0 +1,1 @@
+test/test_propeller.ml: Alcotest Buildsys Codegen Exec Hashtbl Ir Lazy Linker List Objfile Perfmon Propeller Testutil Uarch

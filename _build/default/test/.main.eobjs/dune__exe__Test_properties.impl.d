@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Buildsys Codegen Exec Hashtbl Int64 Ir Linker List Objfile Option Printf Progen Propeller QCheck QCheck_alcotest Support Uarch

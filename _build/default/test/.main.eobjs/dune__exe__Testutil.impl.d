@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Codegen Exec Ir Isa Linker Option Perfmon Progen

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "propeller"
+    [
+      ("support", Test_support.suite);
+      ("isa", Test_isa.suite);
+      ("ir", Test_ir.suite);
+      ("layout", Test_layout.suite);
+      ("objfile", Test_objfile.suite);
+      ("codegen", Test_codegen.suite);
+      ("inline", Test_inline.suite);
+      ("linker", Test_linker.suite);
+      ("exec", Test_exec.suite);
+      ("perfmon", Test_perfmon.suite);
+      ("uarch", Test_uarch.suite);
+      ("buildsys", Test_buildsys.suite);
+      ("propeller", Test_propeller.suite);
+      ("prefetch", Test_prefetch.suite);
+      ("boltsim", Test_boltsim.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+    ]

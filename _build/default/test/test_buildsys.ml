@@ -1,0 +1,176 @@
+open Testutil
+
+(* --- Cache -------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let c = Buildsys.Cache.create () in
+  let key = Support.Digesting.of_string "k" in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    "artifact"
+  in
+  let v1, hit1 = Buildsys.Cache.find_or_add c key ~size:String.length compute in
+  let v2, hit2 = Buildsys.Cache.find_or_add c key ~size:String.length compute in
+  check ts "value" "artifact" v1;
+  check ts "cached value" "artifact" v2;
+  check tb "first is miss" false hit1;
+  check tb "second is hit" true hit2;
+  check ti "computed once" 1 !calls;
+  check ti "hits" 1 (Buildsys.Cache.hits c);
+  check ti "misses" 1 (Buildsys.Cache.misses c);
+  check ti "stored bytes" 8 (Buildsys.Cache.stored_bytes c);
+  check tb "hit rate" true (abs_float (Buildsys.Cache.hit_rate c -. 0.5) < 1e-9)
+
+let test_cache_reset_stats () =
+  let c = Buildsys.Cache.create () in
+  let key = Support.Digesting.of_string "k" in
+  ignore (Buildsys.Cache.find_or_add c key ~size:String.length (fun () -> "x"));
+  Buildsys.Cache.reset_stats c;
+  check ti "misses zeroed" 0 (Buildsys.Cache.misses c);
+  (* Contents survive. *)
+  let _, hit = Buildsys.Cache.find_or_add c key ~size:String.length (fun () -> "y") in
+  check tb "contents kept" true hit
+
+(* --- Scheduler ---------------------------------------------------- *)
+
+let action label cpu mem = { Buildsys.Scheduler.label; cpu_seconds = cpu; peak_mem_bytes = mem }
+
+let test_scheduler_single_worker () =
+  let r =
+    Buildsys.Scheduler.schedule ~workers:1 [ action "a" 2.0 1; action "b" 3.0 2 ]
+  in
+  check tb "serial makespan" true (abs_float (r.wall_seconds -. 5.0) < 1e-9);
+  check tb "total cpu" true (abs_float (r.cpu_seconds -. 5.0) < 1e-9);
+  check ti "max mem" 2 r.max_action_mem
+
+let test_scheduler_parallel () =
+  let r =
+    Buildsys.Scheduler.schedule ~workers:2
+      [ action "a" 2.0 1; action "b" 3.0 1; action "c" 1.0 1 ]
+  in
+  (* LPT: b on w0, a on w1, c on w1 -> makespan 3. *)
+  check tb "parallel makespan" true (abs_float (r.wall_seconds -. 3.0) < 1e-9)
+
+let test_scheduler_mem_limit () =
+  let r =
+    Buildsys.Scheduler.schedule ~mem_limit:100 ~workers:4
+      [ action "ok" 1.0 50; action "pig" 1.0 500 ]
+  in
+  check Alcotest.(list string) "offender flagged" [ "pig" ] r.over_limit
+
+let test_scheduler_empty () =
+  let r = Buildsys.Scheduler.schedule ~workers:8 [] in
+  check tb "empty wall" true (r.wall_seconds = 0.0);
+  check ti "no actions" 0 r.num_actions
+
+let scheduler_makespan_law =
+  QCheck.Test.make ~count:150 ~name:"makespan bounds (LPT)"
+    QCheck.(pair (int_range 1 8) (list_of_size (Gen.int_range 1 30) (float_range 0.1 10.0)))
+    (fun (workers, costs) ->
+      let actions = List.mapi (fun i c -> action (string_of_int i) c 0) costs in
+      let r = Buildsys.Scheduler.schedule ~workers actions in
+      let total = List.fold_left ( +. ) 0.0 costs in
+      let longest = List.fold_left max 0.0 costs in
+      (* Makespan is at least max(total/workers, longest) and at most
+         total. *)
+      r.wall_seconds >= (total /. float_of_int workers) -. 1e-6
+      && r.wall_seconds >= longest -. 1e-6
+      && r.wall_seconds <= total +. 1e-6)
+
+(* --- Driver + cache interaction ----------------------------------- *)
+
+let test_build_caches_objects () =
+  let _, program = medium_program () in
+  let env = Buildsys.Driver.make_env () in
+  let opts = Codegen.default_options in
+  let r1 =
+    Buildsys.Driver.build env ~name:"b1" ~program ~codegen_options:opts
+      ~link_options:Linker.Link.default_options
+  in
+  check ti "first build misses everything" 0 r1.cache_hits;
+  let r2 =
+    Buildsys.Driver.build env ~name:"b2" ~program ~codegen_options:opts
+      ~link_options:Linker.Link.default_options
+  in
+  check ti "second build all hits" 0 r2.cache_misses;
+  check ti "hit count" (List.length r2.objs) r2.cache_hits;
+  check tb "rebuild faster" true (r2.wall_seconds < r1.wall_seconds)
+
+let test_plan_invalidates_only_its_unit () =
+  let _, program = medium_program () in
+  let env = Buildsys.Driver.make_env () in
+  let opts = { Codegen.default_options with emit_bb_addr_map = true } in
+  let r1 =
+    Buildsys.Driver.build env ~name:"b1" ~program ~codegen_options:opts
+      ~link_options:Linker.Link.default_options
+  in
+  ignore r1;
+  (* Find some function and give it a trivial plan. *)
+  let f =
+    Ir.Program.fold_funcs program None (fun acc f ->
+        match acc with Some _ -> acc | None -> if f.Ir.Func.name <> "main" then Some f else acc)
+  in
+  let f = Option.get f in
+  let plan =
+    {
+      Codegen.Directive.func = f.name;
+      clusters =
+        [
+          {
+            Codegen.Directive.kind = Codegen.Directive.Primary;
+            blocks = List.init (Ir.Func.num_blocks f) Fun.id;
+          };
+        ];
+    }
+  in
+  let r2 =
+    Buildsys.Driver.build env ~name:"b2" ~program
+      ~codegen_options:{ opts with plans = [ plan ] }
+      ~link_options:Linker.Link.default_options
+  in
+  check ti "exactly one unit recompiled" 1 r2.cache_misses;
+  check ti "everything else cached" (List.length r2.objs - 1) r2.cache_hits
+
+let test_unit_action_key_sensitivity () =
+  let _, program = medium_program () in
+  let u = List.hd (Ir.Program.units program) in
+  let k1 = Buildsys.Driver.unit_action_key u Codegen.default_options in
+  let k2 =
+    Buildsys.Driver.unit_action_key u { Codegen.default_options with emit_bb_addr_map = true }
+  in
+  check tb "flags change key" false (Support.Digesting.equal k1 k2);
+  (* A plan for a function NOT in this unit must not change the key. *)
+  let foreign_plan =
+    { Codegen.Directive.func = "zz_not_here";
+      clusters = [ { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = [ 0 ] } ] }
+  in
+  let k3 = Buildsys.Driver.unit_action_key u { Codegen.default_options with plans = [ foreign_plan ] } in
+  check tb "foreign plan does not invalidate" true (Support.Digesting.equal k1 k3)
+
+let test_costmodel_monotonic () =
+  check tb "codegen grows with code" true
+    (Buildsys.Costmodel.codegen_seconds ~code_bytes:1_000_000
+    > Buildsys.Costmodel.codegen_seconds ~code_bytes:1_000);
+  check tb "wpa mem grows with dcfg" true
+    (Buildsys.Costmodel.wpa_mem ~profile_bytes:0 ~dcfg_blocks:1_000_000 ~dcfg_edges:0
+    > Buildsys.Costmodel.wpa_mem ~profile_bytes:0 ~dcfg_blocks:1_000 ~dcfg_edges:0);
+  (* Chunked reading caps the profile contribution (5.1). *)
+  let m1 = Buildsys.Costmodel.wpa_mem ~profile_bytes:(1 lsl 30) ~dcfg_blocks:0 ~dcfg_edges:0 in
+  let m2 = Buildsys.Costmodel.wpa_mem ~profile_bytes:(1 lsl 33) ~dcfg_blocks:0 ~dcfg_edges:0 in
+  check ti "profile reading is chunked" m1 m2
+
+let suite =
+  [
+    Alcotest.test_case "cache: hit/miss accounting" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache: reset stats" `Quick test_cache_reset_stats;
+    Alcotest.test_case "scheduler: single worker" `Quick test_scheduler_single_worker;
+    Alcotest.test_case "scheduler: parallel" `Quick test_scheduler_parallel;
+    Alcotest.test_case "scheduler: memory limit" `Quick test_scheduler_mem_limit;
+    Alcotest.test_case "scheduler: empty" `Quick test_scheduler_empty;
+    QCheck_alcotest.to_alcotest scheduler_makespan_law;
+    Alcotest.test_case "driver: rebuilds hit cache" `Quick test_build_caches_objects;
+    Alcotest.test_case "driver: plans invalidate only their unit" `Quick test_plan_invalidates_only_its_unit;
+    Alcotest.test_case "driver: action key sensitivity" `Quick test_unit_action_key_sensitivity;
+    Alcotest.test_case "cost models monotonic" `Quick test_costmodel_monotonic;
+  ]

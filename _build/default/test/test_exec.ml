@@ -1,0 +1,202 @@
+open Testutil
+
+let build_image ?codegen ?link program =
+  let _, { Linker.Link.binary; _ } = compile_and_link ?codegen ?link program in
+  (binary, Exec.Image.build program binary)
+
+let run ?(requests = 20) image sink =
+  Exec.Interp.run image { Exec.Interp.default_config with requests } sink
+
+let test_image_block_fidelity () =
+  let program = call_program () in
+  let binary, image = build_image program in
+  Ir.Program.iter_funcs program (fun f ->
+      let fi = Exec.Image.func_index image f.name in
+      for b = 0 to Ir.Func.num_blocks f - 1 do
+        let xb = Exec.Image.block image ~func_idx:fi ~block:b in
+        let info = Linker.Binary.block_info_exn binary ~func:f.name ~block:b in
+        check ti "addr" info.addr xb.addr;
+        check ti "size" info.size xb.size
+      done)
+
+let test_image_rejects_mismatched_binary () =
+  let p1 = call_program () in
+  let _, { Linker.Link.binary; _ } = compile_and_link p1 in
+  let p2 =
+    Ir.Program.make ~name:"other" ~main:"solo"
+      [ Ir.Cunit.make ~name:"u" [ diamond_func ~name:"solo" () ] ]
+  in
+  try
+    ignore (Exec.Image.build p2 binary);
+    Alcotest.fail "expected mismatch failure"
+  with Invalid_argument _ -> ()
+
+let test_run_counts () =
+  let program = call_program () in
+  let _, image = build_image program in
+  let stats = run ~requests:10 image Exec.Event.null in
+  check ti "all requests" 10 stats.requests_completed;
+  check tb "blocks executed" true (stats.blocks_executed > 10);
+  check tb "calls happened" true (stats.calls > 0);
+  check ti "calls return" stats.calls stats.returns;
+  check tb "bytes fetched" true (stats.bytes_fetched > 0)
+
+let test_determinism () =
+  let _, program = medium_program () in
+  let _, image = build_image program in
+  let s1 = run image Exec.Event.null in
+  let s2 = run image Exec.Event.null in
+  check tb "identical reruns" true (s1 = s2)
+
+(* The load-bearing property: the logical trace is identical across
+   layouts of the same program; only physical (address-derived) numbers
+   may change. *)
+let test_layout_invariance () =
+  let _, program = medium_program () in
+  let _, image_base = build_image program in
+  (* A deliberately different layout: reverse source order per function
+     via plans, plus no relaxation. *)
+  let plans =
+    Ir.Program.fold_funcs program [] (fun acc f ->
+        if Ir.Func.num_blocks f < 2 then acc
+        else begin
+          let ids = List.init (Ir.Func.num_blocks f) Fun.id in
+          let rev = 0 :: List.rev (List.tl ids) in
+          { Codegen.Directive.func = f.name;
+            clusters = [ { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = rev } ] }
+          :: acc
+        end)
+  in
+  let _, image_alt =
+    build_image ~codegen:{ Codegen.default_options with plans } program
+  in
+  let s1 = run image_base Exec.Event.null in
+  let s2 = run image_alt Exec.Event.null in
+  check ti "same blocks executed" s1.blocks_executed s2.blocks_executed;
+  check ti "same calls" s1.calls s2.calls;
+  check ti "same conditional branches" s1.cond_branches s2.cond_branches;
+  check ti "same indirect jumps" s1.indirect_jumps s2.indirect_jumps;
+  (* Physical outcomes (taken counts, fetched bytes) are layout
+     dependent and expected to differ. *)
+  check tb "layouts actually differ" true
+    (s1.cond_taken <> s2.cond_taken || s1.bytes_fetched <> s2.bytes_fetched)
+
+let test_branch_bias_observed () =
+  (* A 0.75 back-edge must iterate the loop about 4x per entry. *)
+  let f = loop_func ~name:"main" () in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let _, image = build_image program in
+  let stats = run ~requests:500 image Exec.Event.null in
+  let per_request = float_of_int stats.blocks_executed /. 500.0 in
+  (* blocks per request = 1 (entry) + ~4 (body) + 1 (exit). *)
+  check tb "loop iterates ~4x" true (per_request > 4.5 && per_request < 7.5)
+
+let test_fetch_events_cover_blocks () =
+  let program = call_program () in
+  let binary, image = build_image program in
+  let fetched = ref 0 in
+  let sink =
+    {
+      Exec.Event.null with
+      Exec.Event.on_fetch =
+        (fun addr len _ ->
+          check tb "fetch in text" true (addr >= binary.text_start && addr + len <= binary.text_end);
+          fetched := !fetched + len);
+    }
+  in
+  let stats = run ~requests:5 image sink in
+  check ti "sink sees all fetched bytes" stats.bytes_fetched !fetched
+
+let test_branch_events_consistent () =
+  let program = call_program () in
+  let binary, image = build_image program in
+  let bad = ref 0 in
+  let sink =
+    {
+      Exec.Event.null with
+      Exec.Event.on_branch =
+        (fun ~src ~dst ~kind ~taken ->
+          (* A non-taken conditional continues at the next address. *)
+          (match kind, taken with
+          | Exec.Event.Cond, false -> if src <> dst then incr bad
+          | _, _ -> ());
+          (* Root returns leave the text segment (the exit stub). *)
+          let exit_stub = kind = Exec.Event.Ret && dst < binary.text_start in
+          if (not exit_stub) && (dst < binary.text_start || dst > binary.text_end) then
+            incr bad);
+    }
+  in
+  ignore (run ~requests:10 image sink);
+  check ti "all branch events well-formed" 0 !bad
+
+let test_call_depth_elision () =
+  (* main -> f -> g chain with depth limit 1: g never runs. *)
+  let g = diamond_func ~name:"g" () in
+  let f =
+    Ir.Func.make ~name:"f"
+      [| Ir.Block.make ~id:0 ~body:[ Ir.Inst.DirectCall "g" ] ~term:Ir.Term.Return () |]
+  in
+  let main =
+    Ir.Func.make ~name:"main"
+      [| Ir.Block.make ~id:0 ~body:[ Ir.Inst.DirectCall "f" ] ~term:Ir.Term.Return () |]
+  in
+  let program =
+    Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ main; f; g ] ]
+  in
+  let _, image = build_image program in
+  let stats =
+    Exec.Interp.run image
+      { Exec.Interp.default_config with requests = 3; call_depth_limit = 1 }
+      Exec.Event.null
+  in
+  (* Each request: call main->f happens (depth 0 < 1); f->g elided. *)
+  check ti "one call per request" 3 stats.calls
+
+let test_step_budget () =
+  (* An infinite loop must be stopped by the per-request budget. *)
+  let f =
+    Ir.Func.make ~name:"main"
+      [|
+        compute_block ~id:0 ~bytes:4 ~term:(Ir.Term.Jump 1);
+        compute_block ~id:1 ~bytes:4 ~term:(Ir.Term.Jump 1);
+      |]
+  in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let _, image = build_image program in
+  let stats =
+    Exec.Interp.run image
+      { Exec.Interp.default_config with requests = 2; max_steps_per_request = 100 }
+      Exec.Event.null
+  in
+  check ti "budget caps execution" 202 stats.blocks_executed;
+  check ti "requests still complete" 2 stats.requests_completed
+
+let test_inline_data_not_fetched () =
+  let f =
+    Ir.Func.make ~name:"main"
+      [|
+        Ir.Block.make ~id:0
+          ~body:[ Ir.Inst.Compute 10; Ir.Inst.JumpTableData 64; Ir.Inst.Compute 6 ]
+          ~term:Ir.Term.Return ();
+      |]
+  in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let _, image = build_image program in
+  let stats = run ~requests:1 image Exec.Event.null in
+  (* 10 + 6 + ret(1) executed; the 64 data bytes are skipped. *)
+  check ti "data bytes skipped" 17 stats.bytes_fetched
+
+let suite =
+  [
+    Alcotest.test_case "image matches binary" `Quick test_image_block_fidelity;
+    Alcotest.test_case "image rejects foreign binary" `Quick test_image_rejects_mismatched_binary;
+    Alcotest.test_case "run counts" `Quick test_run_counts;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "layout invariance of logical trace" `Quick test_layout_invariance;
+    Alcotest.test_case "branch bias drives loops" `Quick test_branch_bias_observed;
+    Alcotest.test_case "fetch events cover blocks" `Quick test_fetch_events_cover_blocks;
+    Alcotest.test_case "branch events consistent" `Quick test_branch_events_consistent;
+    Alcotest.test_case "call depth elision" `Quick test_call_depth_elision;
+    Alcotest.test_case "step budget" `Quick test_step_budget;
+    Alcotest.test_case "inline data not fetched" `Quick test_inline_data_not_fetched;
+  ]

@@ -1,0 +1,73 @@
+open Testutil
+
+let blk func block = Isa.Target.Block { func; block }
+
+let test_sizes () =
+  check ti "alu" 7 (Isa.size (Isa.Alu 7));
+  check ti "short jcc" 2 (Isa.size (Isa.Jcc { cond = Isa.Cond.Eq; target = blk "f" 1; encoding = Isa.Short }));
+  check ti "long jcc" 6 (Isa.size (Isa.Jcc { cond = Isa.Cond.Eq; target = blk "f" 1; encoding = Isa.Long }));
+  check ti "short jmp" 2 (Isa.size (Isa.Jmp { target = blk "f" 1; encoding = Isa.Short }));
+  check ti "long jmp" 5 (Isa.size (Isa.Jmp { target = blk "f" 1; encoding = Isa.Long }));
+  check ti "call" 5 (Isa.size (Isa.Call (Isa.Target.Func "g")));
+  check ti "ret" 1 (Isa.size Isa.Ret);
+  check ti "icall" 3 (Isa.size Isa.IndirectCall);
+  check ti "ijmp" 3 (Isa.size Isa.IndirectJmp);
+  check ti "data" 24 (Isa.size (Isa.InlineData 24))
+
+let test_cond_negate_involution () =
+  List.iter
+    (fun c -> check tb "double negate" true (Isa.Cond.equal c (Isa.Cond.negate (Isa.Cond.negate c))))
+    [ Isa.Cond.Eq; Isa.Cond.Ne; Isa.Cond.Lt; Isa.Cond.Ge; Isa.Cond.Le; Isa.Cond.Gt ];
+  List.iter
+    (fun c -> check tb "negate changes" false (Isa.Cond.equal c (Isa.Cond.negate c)))
+    [ Isa.Cond.Eq; Isa.Cond.Ne; Isa.Cond.Lt; Isa.Cond.Ge; Isa.Cond.Le; Isa.Cond.Gt ]
+
+let test_fits_short () =
+  check tb "127" true (Isa.fits_short 127);
+  check tb "-128" true (Isa.fits_short (-128));
+  check tb "128" false (Isa.fits_short 128);
+  check tb "-129" false (Isa.fits_short (-129));
+  check tb "0" true (Isa.fits_short 0)
+
+let test_branch_target () =
+  let t = blk "f" 3 in
+  check tb "jcc has target" true
+    (Isa.branch_target (Isa.Jcc { cond = Isa.Cond.Eq; target = t; encoding = Isa.Long })
+    = Some t);
+  check tb "call has target" true (Isa.branch_target (Isa.Call t) = Some t);
+  check tb "alu has none" true (Isa.branch_target (Isa.Alu 4) = None);
+  check tb "ret has none" true (Isa.branch_target Isa.Ret = None)
+
+let test_with_target () =
+  let t = blk "f" 1 and u = blk "g" 2 in
+  let j = Isa.Jmp { target = t; encoding = Isa.Long } in
+  check tb "retargeted" true (Isa.branch_target (Isa.with_target j u) = Some u);
+  Alcotest.check_raises "non-branch rejected"
+    (Invalid_argument "Isa.with_target: not a branching instruction") (fun () ->
+      ignore (Isa.with_target (Isa.Alu 1) u))
+
+let test_classification () =
+  check tb "jcc is branch" true (Isa.is_branch (Isa.Jcc { cond = Isa.Cond.Eq; target = blk "f" 0; encoding = Isa.Long }));
+  check tb "call is not branch" false (Isa.is_branch (Isa.Call (Isa.Target.Func "g")));
+  check tb "call is transfer" true (Isa.is_control_transfer (Isa.Call (Isa.Target.Func "g")));
+  check tb "ret is transfer" true (Isa.is_control_transfer Isa.Ret);
+  check tb "data is not" false (Isa.is_control_transfer (Isa.InlineData 8))
+
+let test_target_symbols () =
+  check ts "block symbol" "f#3" (Isa.Target.symbol (blk "f" 3));
+  check ts "func symbol" "f" (Isa.Target.symbol (Isa.Target.Func "f"));
+  check tb "compare orders blocks first" true
+    (Isa.Target.compare (blk "f" 0) (Isa.Target.Func "f") < 0);
+  check tb "equal" true (Isa.Target.equal (blk "f" 1) (blk "f" 1));
+  check tb "not equal across funcs" false (Isa.Target.equal (blk "f" 1) (blk "g" 1))
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "cond negate" `Quick test_cond_negate_involution;
+    Alcotest.test_case "fits_short bounds" `Quick test_fits_short;
+    Alcotest.test_case "branch targets" `Quick test_branch_target;
+    Alcotest.test_case "with_target" `Quick test_with_target;
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "target symbols" `Quick test_target_symbols;
+  ]

@@ -1,0 +1,220 @@
+open Testutil
+
+(* Random weighted digraph generator for property tests. *)
+let graph_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 40) (fun n ->
+        let* edge_count = int_range 0 (4 * n) in
+        let* edges =
+          list_repeat edge_count
+            (let* s = int_bound (n - 1) in
+             let* d = int_bound (n - 1) in
+             let* w = float_bound_inclusive 100.0 in
+             return (s, d, w))
+        in
+        let* sizes = array_repeat n (int_range 1 64) in
+        let* weights = array_repeat n (float_bound_inclusive 50.0) in
+        return (n, sizes, weights, edges)))
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, _, _, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (s, d, w) -> Printf.sprintf "%d->%d:%.1f" s d w) edges)))
+    graph_gen
+
+let is_permutation n order =
+  List.length order = n && List.sort compare order = List.init n Fun.id
+
+let exttsp_permutation_law =
+  QCheck.Test.make ~count:150 ~name:"exttsp order is a permutation" graph_arb
+    (fun (n, sizes, weights, edges) ->
+      let order = Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 () in
+      is_permutation n order)
+
+let exttsp_entry_first_law =
+  QCheck.Test.make ~count:150 ~name:"exttsp keeps the entry first" graph_arb
+    (fun (n, sizes, weights, edges) ->
+      ignore n;
+      let order = Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 () in
+      match order with 0 :: _ -> true | _ -> false)
+
+(* Greedy Ext-TSP accumulates only positive merge gains, and its first
+   merge captures at least the heaviest edge that can legally become a
+   fall-through (an edge into the entry cannot, since the entry stays
+   first). Note greedy does NOT dominate the identity layout in general
+   — a counterexample exists with 4 nodes — so the sound lower bound is
+   this one. *)
+let exttsp_lower_bound_law =
+  QCheck.Test.make ~count:150 ~name:"exttsp score >= heaviest realizable edge" graph_arb
+    (fun (_, sizes, weights, edges) ->
+      let order = Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 () in
+      let s_opt = Layout.Exttsp.score ~sizes ~edges ~order () in
+      let best =
+        List.fold_left
+          (fun acc (s, d, w) -> if s <> d && d <> 0 then max acc w else acc)
+          0.0 edges
+      in
+      s_opt >= best -. 1e-6)
+
+let exttsp_pqueue_equals_linear_law =
+  QCheck.Test.make ~count:80 ~name:"pqueue and linear retrieval agree" graph_arb
+    (fun (_, sizes, weights, edges) ->
+      let p1 = { Layout.Exttsp.default_params with use_pqueue = true } in
+      let p2 = { Layout.Exttsp.default_params with use_pqueue = false } in
+      Layout.Exttsp.order ~params:p1 ~sizes ~weights ~edges ~entry:0 ()
+      = Layout.Exttsp.order ~params:p2 ~sizes ~weights ~edges ~entry:0 ())
+
+let test_exttsp_chain () =
+  (* A hot chain 0->1->2->3 must be laid out exactly in order. *)
+  let sizes = [| 10; 10; 10; 10 |] in
+  let weights = [| 1.0; 1.0; 1.0; 1.0 |] in
+  let edges = [ (0, 1, 100.0); (1, 2, 100.0); (2, 3, 100.0) ] in
+  check Alcotest.(list int) "chain order" [ 0; 1; 2; 3 ]
+    (Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 ())
+
+let test_exttsp_hot_fallthrough () =
+  (* Diamond where the taken side is hot: 0 -> 1 (hot), 0 -> 2 (cold),
+     both -> 3. The hot successor must be adjacent to 0. *)
+  let sizes = [| 10; 10; 10; 10 |] in
+  let weights = [| 100.0; 95.0; 5.0; 100.0 |] in
+  let edges = [ (0, 1, 95.0); (0, 2, 5.0); (1, 3, 95.0); (2, 3, 5.0) ] in
+  match Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 () with
+  | 0 :: 1 :: _ -> ()
+  | order ->
+    Alcotest.failf "hot path not adjacent: %s"
+      (String.concat "," (List.map string_of_int order))
+
+let test_exttsp_singleton () =
+  check Alcotest.(list int) "single node" [ 0 ]
+    (Layout.Exttsp.order ~sizes:[| 8 |] ~weights:[| 1.0 |] ~edges:[] ~entry:0 ());
+  check Alcotest.(list int) "empty" []
+    (Layout.Exttsp.order ~sizes:[||] ~weights:[||] ~edges:[] ~entry:0 ())
+
+let test_exttsp_score_fallthrough_beats_jump () =
+  let sizes = [| 10; 10 |] in
+  let edges = [ (0, 1, 10.0) ] in
+  let s_ft = Layout.Exttsp.score ~sizes ~edges ~order:[ 0; 1 ] () in
+  let s_back = Layout.Exttsp.score ~sizes ~edges ~order:[ 1; 0 ] () in
+  check tb "fallthrough scores higher" true (s_ft > s_back);
+  check tb "fallthrough full weight" true (abs_float (s_ft -. 10.0) < 1e-9)
+
+let test_exttsp_window_decay () =
+  (* A forward jump beyond the 1024-byte window scores zero. *)
+  let sizes = [| 10; 2000; 10 |] in
+  let edges = [ (0, 2, 10.0) ] in
+  let s = Layout.Exttsp.score ~sizes ~edges ~order:[ 0; 1; 2 ] () in
+  check tb "out of window = 0" true (s < 1e-9);
+  (* Within the window it is positive but less than a fallthrough. *)
+  let sizes2 = [| 10; 100; 10 |] in
+  let s2 = Layout.Exttsp.score ~sizes:sizes2 ~edges ~order:[ 0; 1; 2 ] () in
+  check tb "in window positive" true (s2 > 0.0 && s2 < 10.0)
+
+let test_exttsp_merge_count () =
+  let sizes = [| 10; 10; 10 |] in
+  let weights = [| 1.0; 1.0; 1.0 |] in
+  let edges = [ (0, 1, 5.0); (1, 2, 5.0) ] in
+  ignore (Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 ());
+  check ti "two merges for a 3-chain" 2 (Layout.Exttsp.last_merge_count ())
+
+(* --- hfsort ------------------------------------------------------- *)
+
+let test_hfsort_permutation () =
+  let sizes = [| 100; 200; 300; 50 |] in
+  let samples = [| 10.0; 500.0; 1.0; 300.0 |] in
+  let arcs = [ (1, 3, 100.0); (3, 0, 10.0) ] in
+  let order = Layout.Hfsort.order ~sizes ~samples ~arcs () in
+  check tb "permutation" true (is_permutation 4 order)
+
+let test_hfsort_caller_callee_adjacent () =
+  let sizes = [| 100; 100; 100; 100 |] in
+  let samples = [| 1000.0; 900.0; 1.0; 2.0 |] in
+  let arcs = [ (0, 1, 500.0) ] in
+  let order = Layout.Hfsort.order ~sizes ~samples ~arcs () in
+  let pos f = Option.get (List.find_index (fun x -> x = f) order) in
+  check ti "callee right after caller" (pos 0 + 1) (pos 1)
+
+let test_hfsort_density_order () =
+  (* No arcs: order by hotness density. *)
+  let sizes = [| 1000; 10; 100 |] in
+  let samples = [| 100.0; 100.0; 100.0 |] in
+  let order = Layout.Hfsort.order ~sizes ~samples ~arcs:[] () in
+  check Alcotest.(list int) "densest first" [ 1; 2; 0 ] order
+
+let test_hfsort_cluster_cap () =
+  (* Merging stops at the size cap, so the callee ends up placed by
+     density rather than appended. *)
+  let sizes = [| 900; 900 |] in
+  let samples = [| 100.0; 50.0 |] in
+  let arcs = [ (0, 1, 100.0) ] in
+  let order = Layout.Hfsort.order ~sizes ~samples ~arcs ~max_cluster_size:1000 () in
+  check tb "still a permutation" true (is_permutation 2 order)
+
+let hfsort_permutation_law =
+  QCheck.Test.make ~count:150 ~name:"hfsort is a permutation"
+    QCheck.(
+      make
+        Gen.(
+          sized_size (int_range 1 30) (fun n ->
+              let* sizes = array_repeat n (int_range 1 5000) in
+              let* samples = array_repeat n (float_bound_inclusive 1000.0) in
+              let* arc_count = int_range 0 (2 * n) in
+              let* arcs =
+                list_repeat arc_count
+                  (let* s = int_bound (n - 1) in
+                   let* d = int_bound (n - 1) in
+                   let* w = float_bound_inclusive 100.0 in
+                   return (s, d, w))
+              in
+              return (n, sizes, samples, arcs))))
+    (fun (n, sizes, samples, arcs) ->
+      is_permutation n (Layout.Hfsort.order ~sizes ~samples ~arcs ()))
+
+(* --- split -------------------------------------------------------- *)
+
+let test_split_partition () =
+  let counts = [| 10.0; 0.0; 5.0; 0.0 |] in
+  let { Layout.Split.hot; cold } = Layout.Split.partition ~counts () in
+  check Alcotest.(list int) "hot" [ 0; 2 ] hot;
+  check Alcotest.(list int) "cold" [ 1; 3 ] cold
+
+let test_split_entry_always_hot () =
+  let counts = [| 0.0; 7.0 |] in
+  let { Layout.Split.hot; _ } = Layout.Split.partition ~counts () in
+  check tb "entry hot even at zero count" true (List.mem 0 hot)
+
+let test_split_threshold () =
+  let counts = [| 100.0; 3.0; 50.0 |] in
+  let { Layout.Split.cold; _ } = Layout.Split.partition ~counts ~threshold:5.0 () in
+  check Alcotest.(list int) "below threshold is cold" [ 1 ] cold
+
+let test_call_split_heuristic () =
+  check tb "small region not profitable" false
+    (Layout.Split.call_split_profitable ~cold_bytes:10 ~entry_count:100.0 ~cold_entry_count:0.0);
+  check tb "large cold region profitable" true
+    (Layout.Split.call_split_profitable ~cold_bytes:500 ~entry_count:100.0 ~cold_entry_count:0.0);
+  check tb "frequently-entered region not profitable" false
+    (Layout.Split.call_split_profitable ~cold_bytes:500 ~entry_count:100.0 ~cold_entry_count:50.0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest exttsp_permutation_law;
+    QCheck_alcotest.to_alcotest exttsp_entry_first_law;
+    QCheck_alcotest.to_alcotest exttsp_lower_bound_law;
+    QCheck_alcotest.to_alcotest exttsp_pqueue_equals_linear_law;
+    Alcotest.test_case "exttsp: hot chain" `Quick test_exttsp_chain;
+    Alcotest.test_case "exttsp: hot fallthrough wins" `Quick test_exttsp_hot_fallthrough;
+    Alcotest.test_case "exttsp: degenerate inputs" `Quick test_exttsp_singleton;
+    Alcotest.test_case "exttsp: fallthrough scoring" `Quick test_exttsp_score_fallthrough_beats_jump;
+    Alcotest.test_case "exttsp: distance windows" `Quick test_exttsp_window_decay;
+    Alcotest.test_case "exttsp: merge count" `Quick test_exttsp_merge_count;
+    Alcotest.test_case "hfsort: permutation" `Quick test_hfsort_permutation;
+    Alcotest.test_case "hfsort: caller/callee adjacency" `Quick test_hfsort_caller_callee_adjacent;
+    Alcotest.test_case "hfsort: density order" `Quick test_hfsort_density_order;
+    Alcotest.test_case "hfsort: cluster cap" `Quick test_hfsort_cluster_cap;
+    QCheck_alcotest.to_alcotest hfsort_permutation_law;
+    Alcotest.test_case "split: partition" `Quick test_split_partition;
+    Alcotest.test_case "split: entry hot" `Quick test_split_entry_always_hot;
+    Alcotest.test_case "split: threshold" `Quick test_split_threshold;
+    Alcotest.test_case "split: call heuristic" `Quick test_call_split_heuristic;
+  ]

@@ -1,0 +1,125 @@
+open Testutil
+
+let piece block insts = { Objfile.Fragment.block; insts; is_landing_pad = false }
+
+let simple_frag () =
+  Objfile.Fragment.make ~func:"f"
+    [
+      piece 0 [ Isa.Alu 4; Isa.Jcc { cond = Isa.Cond.Eq; target = Isa.Target.Block { func = "f"; block = 1 }; encoding = Isa.Long } ];
+      piece 1 [ Isa.Alu 6; Isa.Ret ];
+    ]
+
+let test_fragment_sizes () =
+  let f = simple_frag () in
+  check ti "byte size" (4 + 6 + 6 + 1) (Objfile.Fragment.byte_size f);
+  match Objfile.Fragment.piece_offsets f with
+  | [ (_, 0); (_, 10) ] -> ()
+  | offs -> Alcotest.failf "bad offsets: %s" (String.concat "," (List.map (fun (_, o) -> string_of_int o) offs))
+
+let test_fragment_relocs () =
+  let f = simple_frag () in
+  check ti "one branch reloc" 1 (Objfile.Fragment.num_relocations f);
+  let with_call =
+    Objfile.Fragment.make ~func:"g" [ piece 0 [ Isa.Call (Isa.Target.Func "f"); Isa.Ret ] ]
+  in
+  check ti "calls relocate too" 1 (Objfile.Fragment.num_relocations with_call)
+
+let test_fragment_rejects_empty () =
+  try
+    ignore (Objfile.Fragment.make ~func:"f" []);
+    Alcotest.fail "expected failure"
+  with Invalid_argument _ -> ()
+
+let test_bbmap_lookup () =
+  let map =
+    [
+      {
+        Objfile.Bbmap.func = "f";
+        entries =
+          [
+            { Objfile.Bbmap.bb_id = 0; offset = 0; size = 10; can_fallthrough = true; is_landing_pad = false };
+            { Objfile.Bbmap.bb_id = 3; offset = 10; size = 7; can_fallthrough = false; is_landing_pad = false };
+          ];
+      };
+    ]
+  in
+  (match Objfile.Bbmap.lookup map ~func:"f" ~offset:12 with
+  | Some e -> check ti "maps into second block" 3 e.bb_id
+  | None -> Alcotest.fail "lookup failed");
+  check tb "off the end" true (Objfile.Bbmap.lookup map ~func:"f" ~offset:17 = None);
+  check tb "unknown func" true (Objfile.Bbmap.lookup map ~func:"g" ~offset:0 = None);
+  check ti "entries" 2 (Objfile.Bbmap.num_entries map)
+
+let test_bbmap_encoded_size () =
+  let entry off = { Objfile.Bbmap.bb_id = 1; offset = off; size = 10; can_fallthrough = true; is_landing_pad = false } in
+  let size_small = Objfile.Bbmap.encoded_size [ { Objfile.Bbmap.func = "f"; entries = [ entry 10 ] } ] in
+  let size_big = Objfile.Bbmap.encoded_size [ { Objfile.Bbmap.func = "f"; entries = [ entry 100000 ] } ] in
+  check tb "uleb grows with offsets" true (size_big > size_small);
+  (* header 9 + id(1) + offset(1) + size(1) + flags(1) *)
+  check ti "small entry encoding" 13 size_small
+
+let test_symname_roundtrips () =
+  check ts "cold" "foo.cold" (Objfile.Symname.cold "foo");
+  check ts "cluster" "foo.2" (Objfile.Symname.cluster "foo" 2);
+  check ts "owner of cold" "foo" (Objfile.Symname.owner "foo.cold");
+  check ts "owner of cluster" "foo" (Objfile.Symname.owner "foo.7");
+  check ts "owner of plain" "foo" (Objfile.Symname.owner "foo");
+  check ts "owner keeps interior dots" "a.b" (Objfile.Symname.owner "a.b");
+  check tb "is_cold" true (Objfile.Symname.is_cold "foo.cold");
+  check tb "not cold" false (Objfile.Symname.is_cold "foo.col");
+  check tb "block parse" true (Objfile.Symname.parse_block "foo#12" = Some ("foo", 12));
+  check tb "block parse fails" true (Objfile.Symname.parse_block "foo" = None);
+  check ts "block format" "foo#3" (Objfile.Symname.block ~func:"foo" ~block:3)
+
+let symname_owner_law =
+  QCheck.Test.make ~count:200 ~name:"owner inverts cold/cluster naming"
+    QCheck.(string_gen_of_size (Gen.int_range 1 12) Gen.(char_range 'a' 'z'))
+    (fun f ->
+      String.equal (Objfile.Symname.owner (Objfile.Symname.cold f)) f
+      && String.equal (Objfile.Symname.owner (Objfile.Symname.cluster f 3)) f)
+
+let test_section_sizes () =
+  let s =
+    Objfile.Section.make ~name:".text.f" ~kind:Objfile.Section.Text ~symbol:"f"
+      (Objfile.Section.Code (simple_frag ()))
+  in
+  check ti "code section size" 17 (Objfile.Section.size s);
+  check tb "is text" true (Objfile.Section.is_text s);
+  let raw = Objfile.Section.make ~name:".rodata" ~kind:Objfile.Section.Rodata (Objfile.Section.Raw 100) in
+  check ti "raw size" 100 (Objfile.Section.size raw);
+  check tb "raw not text" false (Objfile.Section.is_text raw)
+
+let test_file_accessors () =
+  let text =
+    Objfile.Section.make ~name:".text.f" ~kind:Objfile.Section.Text ~symbol:"f"
+      (Objfile.Section.Code (simple_frag ()))
+  in
+  let ro = Objfile.Section.make ~name:".rodata" ~kind:Objfile.Section.Rodata (Objfile.Section.Raw 64) in
+  let o = Objfile.File.make ~name:"u.o" ~unit_name:"u" [ text; ro ] in
+  check ti "one text section" 1 (List.length (Objfile.File.text_sections o));
+  check ti "text bytes" 17 (Objfile.File.size_by_kind o Objfile.Section.Text);
+  check ti "total" (17 + 64) (Objfile.File.total_size o);
+  check tb "symbol defined" true (List.mem_assoc "f" (Objfile.File.defined_symbols o));
+  check tb "find section" true (Option.is_some (Objfile.File.find_section o ".rodata"));
+  check ti "relocs" 1 (Objfile.File.num_relocations o)
+
+let test_file_extra_section_relocs () =
+  (* A second text section adds two DWARF range relocations (4.3). *)
+  let sec sym frag = Objfile.Section.make ~name:(".text." ^ sym) ~kind:Objfile.Section.Text ~symbol:sym (Objfile.Section.Code frag) in
+  let frag sym = Objfile.Fragment.make ~func:sym [ piece 0 [ Isa.Ret ] ] in
+  let o = Objfile.File.make ~name:"u.o" ~unit_name:"u" [ sec "f" (frag "f"); sec "f.cold" (frag "f") ] in
+  check ti "2 dwarf relocs for extra section" 2 (Objfile.File.num_relocations o)
+
+let suite =
+  [
+    Alcotest.test_case "fragment sizes and offsets" `Quick test_fragment_sizes;
+    Alcotest.test_case "fragment relocations" `Quick test_fragment_relocs;
+    Alcotest.test_case "fragment rejects empty" `Quick test_fragment_rejects_empty;
+    Alcotest.test_case "bbmap lookup" `Quick test_bbmap_lookup;
+    Alcotest.test_case "bbmap encoded size" `Quick test_bbmap_encoded_size;
+    Alcotest.test_case "symname conventions" `Quick test_symname_roundtrips;
+    QCheck_alcotest.to_alcotest symname_owner_law;
+    Alcotest.test_case "section sizes" `Quick test_section_sizes;
+    Alcotest.test_case "object accessors" `Quick test_file_accessors;
+    Alcotest.test_case "extra-section dwarf relocs" `Quick test_file_extra_section_relocs;
+  ]

@@ -1,0 +1,97 @@
+open Testutil
+
+let profile_of ?(requests = 30) program =
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let stats, profile = run_with_profile ~requests program binary in
+  (binary, stats, profile)
+
+let test_collector_samples () =
+  let _, program = medium_program () in
+  let _, stats, profile = profile_of program in
+  check tb "samples collected" true (profile.num_samples > 0);
+  check tb "records accumulate" true (profile.num_records >= profile.num_samples);
+  (* One sample per [period] taken branches, buffers hold up to 32. *)
+  let taken = Exec.Interp.taken_branches stats in
+  let expected = taken / Perfmon.Lbr.default_config.period in
+  check tb "sample count near expectation" true
+    (abs (profile.num_samples - expected) <= 1)
+
+let test_branch_pairs_valid () =
+  let program = call_program () in
+  let binary, _, profile = profile_of ~requests:50 program in
+  Hashtbl.iter
+    (fun (src, dst) n ->
+      check tb "count positive" true (n > 0);
+      check tb "src in text" true (src > binary.text_start && src <= binary.text_end);
+      (* Root returns target the exit stub below the text segment. *)
+      check tb "dst in text or exit stub" true
+        (dst < binary.text_start || (dst >= binary.text_start && dst < binary.text_end)))
+    profile.branches
+
+let test_ranges_ordered () =
+  let _, program = medium_program () in
+  let _, _, profile = profile_of program in
+  Hashtbl.iter
+    (fun (lo, hi) _ -> check tb "range well formed" true (lo <= hi))
+    profile.ranges
+
+let test_sampling_period_thins_profile () =
+  let _, program = medium_program () in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let collect period =
+    let profile = Perfmon.Lbr.create_profile () in
+    let image = Exec.Image.build program binary in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image
+        { Exec.Interp.default_config with requests = 30 }
+        (Perfmon.Lbr.collector { Perfmon.Lbr.default_config with period } profile)
+    in
+    profile
+  in
+  let dense = collect 13 and sparse = collect 1009 in
+  check tb "longer period, fewer samples" true (sparse.num_samples < dense.num_samples);
+  check tb "still nonempty" true (sparse.num_samples > 0)
+
+let test_merge () =
+  let program = call_program () in
+  let _, _, p1 = profile_of ~requests:10 program in
+  let _, _, p2 = profile_of ~requests:10 program in
+  let total_before = Hashtbl.fold (fun _ n acc -> acc + n) p1.branches 0 in
+  let samples_before = p1.num_samples in
+  Perfmon.Lbr.merge p1 p2;
+  let total_after = Hashtbl.fold (fun _ n acc -> acc + n) p1.branches 0 in
+  check ti "branch counts add" (2 * total_before) total_after;
+  check ti "samples add" (2 * samples_before) p1.num_samples
+
+let test_raw_bytes_model () =
+  let program = call_program () in
+  let _, _, profile = profile_of program in
+  let bytes = Perfmon.Lbr.raw_bytes Perfmon.Lbr.default_config profile in
+  check tb "scales with samples" true
+    (bytes >= profile.num_samples * 24 * Perfmon.Lbr.default_config.buffer_depth)
+
+let test_hot_edge_dominates () =
+  (* The loop back-edge of a hot loop must be among the most counted
+     branch pairs. *)
+  let f = loop_func ~name:"main" () in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let binary, _, profile = profile_of ~requests:400 program in
+  let b1 = Linker.Binary.block_info_exn binary ~func:"main" ~block:1 in
+  let back_edge_count =
+    Hashtbl.fold
+      (fun (_, dst) n acc -> if dst = b1.addr then max acc n else acc)
+      profile.branches 0
+  in
+  let max_count = Hashtbl.fold (fun _ n acc -> max acc n) profile.branches 0 in
+  check ti "back edge is the hottest pair" max_count back_edge_count
+
+let suite =
+  [
+    Alcotest.test_case "collector samples" `Quick test_collector_samples;
+    Alcotest.test_case "branch pairs valid" `Quick test_branch_pairs_valid;
+    Alcotest.test_case "ranges ordered" `Quick test_ranges_ordered;
+    Alcotest.test_case "sampling period" `Quick test_sampling_period_thins_profile;
+    Alcotest.test_case "profile merge" `Quick test_merge;
+    Alcotest.test_case "raw bytes model" `Quick test_raw_bytes_model;
+    Alcotest.test_case "hot edge dominates" `Quick test_hot_edge_dominates;
+  ]

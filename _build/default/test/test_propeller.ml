@@ -1,0 +1,272 @@
+open Testutil
+
+(* Shared mid-sized pipeline run (built once; tests read from it). *)
+let fixture =
+  lazy
+    (let spec, program = medium_program () in
+     let env = Buildsys.Driver.make_env () in
+     let result =
+       Propeller.Pipeline.run
+         ~config:
+           {
+             Propeller.Pipeline.default_config with
+             profile_run = { Exec.Interp.default_config with requests = spec.requests };
+           }
+         ~env ~program ~name:"testprog" ()
+     in
+     (spec, program, env, result))
+
+(* --- Dcfg --------------------------------------------------------- *)
+
+let test_dcfg_requires_metadata () =
+  let program = call_program () in
+  let _, { Linker.Link.binary; _ } = compile_and_link program in
+  let profile = Perfmon.Lbr.create_profile () in
+  try
+    ignore (Propeller.Dcfg.build ~profile ~binary);
+    Alcotest.fail "expected rejection of metadata-less binary"
+  with Invalid_argument _ -> ()
+
+let test_dcfg_reconstruction () =
+  (* Execute a loop and check the DCFG recovers its back edge. *)
+  let f = loop_func ~name:"main" () in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let _, profile = run_with_profile ~requests:400 program binary in
+  let dcfg = Propeller.Dcfg.build ~profile ~binary in
+  match Hashtbl.find_opt dcfg.funcs "main" with
+  | None -> Alcotest.fail "main not in DCFG"
+  | Some d ->
+    check tb "back edge recovered" true (Hashtbl.mem d.dedges (1, 1));
+    check tb "back edge dominant" true
+      (let back = !(Hashtbl.find d.dedges (1, 1)) in
+       Hashtbl.fold (fun _ r acc -> acc && !r <= back) d.dedges true);
+    check tb "samples attributed" true (d.dsamples > 0)
+
+let test_dcfg_block_mapping () =
+  let _, program, _, result = Lazy.force (fixture) in
+  ignore program;
+  let binary = result.metadata_build.binary in
+  let dcfg = Propeller.Dcfg.build ~profile:result.profile ~binary in
+  (* Every sampled block must map back to a real program block. *)
+  Hashtbl.iter
+    (fun fname (d : Propeller.Dcfg.dfunc) ->
+      match Ir.Program.find_func program fname with
+      | None -> Alcotest.failf "unknown function in DCFG: %s" fname
+      | Some f ->
+        Hashtbl.iter
+          (fun bb _ ->
+            if bb < 0 || bb >= Ir.Func.num_blocks f then
+              Alcotest.failf "bogus block %s#%d" fname bb)
+          d.dblocks)
+    dcfg.funcs
+
+let test_dcfg_call_arcs () =
+  let program = call_program () in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let _, profile = run_with_profile ~requests:100 program binary in
+  let dcfg = Propeller.Dcfg.build ~profile ~binary in
+  let arcs = Propeller.Dcfg.func_arcs dcfg in
+  check tb "main->callee arc seen" true
+    (List.exists (fun (a, b, w) -> a = "main" && b = "callee" && w > 0.0) arcs)
+
+let test_dcfg_disasm_view_agrees () =
+  let _, program, _, result = Lazy.force (fixture) in
+  ignore program;
+  let binary = result.metadata_build.binary in
+  let via_map = Propeller.Dcfg.build ~profile:result.profile ~binary in
+  let via_blocks = Propeller.Dcfg.build_of_blocks ~profile:result.profile ~binary in
+  (* Metadata covers exactly what disassembly would recover. *)
+  check ti "same sampled blocks" (Propeller.Dcfg.num_blocks via_map)
+    (Propeller.Dcfg.num_blocks via_blocks);
+  check ti "same edges" (Propeller.Dcfg.num_edges via_map) (Propeller.Dcfg.num_edges via_blocks)
+
+(* --- WPA ---------------------------------------------------------- *)
+
+let test_wpa_plans_valid () =
+  let _, program, _, result = Lazy.force (fixture) in
+  List.iter
+    (fun (p : Codegen.Directive.func_plan) ->
+      match Ir.Program.find_func program p.func with
+      | None -> Alcotest.failf "plan for unknown function %s" p.func
+      | Some f -> (
+        match Codegen.Directive.validate ~num_blocks:(Ir.Func.num_blocks f) p with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e))
+    result.wpa.plans
+
+let test_wpa_ordering_covers_primaries () =
+  let _, _, _, result = Lazy.force (fixture) in
+  List.iter
+    (fun (p : Codegen.Directive.func_plan) ->
+      check tb "primary listed" true (List.mem p.func result.wpa.ordering))
+    result.wpa.plans;
+  (* Cold symbols trail the hot primaries. *)
+  let first_cold = List.find_index Objfile.Symname.is_cold result.wpa.ordering in
+  let last_hot =
+    List.mapi (fun i s -> (i, s)) result.wpa.ordering
+    |> List.filter (fun (_, s) -> not (Objfile.Symname.is_cold s))
+    |> List.fold_left (fun acc (i, _) -> max acc i) (-1)
+  in
+  match first_cold with
+  | Some fc -> check tb "cold after hot" true (fc > last_hot)
+  | None -> ()
+
+let test_wpa_interproc_plans_valid () =
+  let _, program, _, result = Lazy.force (fixture) in
+  let wpa =
+    Propeller.Wpa.analyze
+      ~config:{ Propeller.Wpa.default_config with mode = Propeller.Wpa.Interproc }
+      ~profile:result.profile ~binary:result.metadata_build.binary ()
+  in
+  check tb "produced plans" true (wpa.plans <> []);
+  List.iter
+    (fun (p : Codegen.Directive.func_plan) ->
+      let f = Ir.Program.find_func_exn program p.func in
+      match Codegen.Directive.validate ~num_blocks:(Ir.Func.num_blocks f) p with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    wpa.plans;
+  (* Interproc mode may split functions into >2 clusters. *)
+  let max_clusters =
+    List.fold_left
+      (fun acc (p : Codegen.Directive.func_plan) -> max acc (List.length p.clusters))
+      0 wpa.plans
+  in
+  check tb "some function split across clusters" true (max_clusters >= 2)
+
+let test_wpa_split_functions_off () =
+  let _, _, _, result = Lazy.force (fixture) in
+  let wpa =
+    Propeller.Wpa.analyze
+      ~config:{ Propeller.Wpa.default_config with split_functions = false }
+      ~profile:result.profile ~binary:result.metadata_build.binary ()
+  in
+  check tb "no cold symbols in ordering" true
+    (not (List.exists Objfile.Symname.is_cold wpa.ordering))
+
+let test_wpa_block_layout_hot_first () =
+  let f = loop_func ~name:"main" () in
+  let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let _, profile = run_with_profile ~requests:300 program binary in
+  let dcfg = Propeller.Dcfg.build ~profile ~binary in
+  let d = Hashtbl.find dcfg.funcs "main" in
+  let order, score = Propeller.Wpa.block_layout dcfg d in
+  check tb "entry first" true (List.hd order = 0);
+  check tb "positive score" true (score > 0.0);
+  check tb "loop body adjacent to entry" true
+    (match order with 0 :: 1 :: _ -> true | _ -> false)
+
+(* --- Pipeline ------------------------------------------------------ *)
+
+let test_pipeline_reuses_cold_objects () =
+  let _, _, _, result = Lazy.force (fixture) in
+  check tb "some objects hot" true (result.hot_objects > 0);
+  check tb "most objects cached" true (result.hot_objects < result.total_objects);
+  check ti "phase 4 recompiles only hot objects" result.hot_objects
+    result.optimized_build.cache_misses
+
+let test_pipeline_po_binary_shape () =
+  let _, _, _, result = Lazy.force (fixture) in
+  let po = Propeller.Pipeline.optimized_binary result in
+  let pm = result.metadata_build.binary in
+  check ti "metadata dropped from PO" 0 (Linker.Binary.size_of_kind po Objfile.Section.Bb_addr_map);
+  check tb "PM carries metadata" true
+    (Linker.Binary.size_of_kind pm Objfile.Section.Bb_addr_map > 0);
+  check tb "PO has cold symbols" true
+    (Hashtbl.fold (fun s _ acc -> acc || Objfile.Symname.is_cold s) po.symbols false)
+
+let test_pipeline_improves_performance () =
+  let spec, program, env, result = Lazy.force (fixture) in
+  let base = Propeller.Pipeline.baseline_build ~env ~program ~name:"testprog.base" in
+  let cycles binary =
+    let image = Exec.Image.build program binary in
+    let core = Uarch.Core.create Uarch.Core.default_config in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image
+        { Exec.Interp.default_config with requests = spec.requests }
+        (Uarch.Core.sink core)
+    in
+    Uarch.Core.cycles core
+  in
+  let b = cycles base.binary and p = cycles (Propeller.Pipeline.optimized_binary result) in
+  check tb "propeller does not regress the cycle model" true (p <= b *. 1.005)
+
+let test_pipeline_phase_times () =
+  let _, _, _, result = Lazy.force (fixture) in
+  (* Wall time (makespan) is bounded by the longest unit either way; the
+     robust claim is about total compute: Phase 4 re-runs only the hot
+     backends. *)
+  check tb "phase 4 uses less total compute than phase 2" true
+    (result.optimized_build.codegen_report.cpu_seconds
+    < result.metadata_build.codegen_report.cpu_seconds);
+  check tb "conversion time positive" true (result.times.conversion_s > 0.0)
+
+let test_run_rounds () =
+  let spec, program = medium_program ~seed:31L () in
+  let env = Buildsys.Driver.make_env () in
+  let rounds =
+    Propeller.Pipeline.run_rounds ~rounds:2
+      ~config:
+        {
+          Propeller.Pipeline.default_config with
+          profile_run = { Exec.Interp.default_config with requests = spec.requests };
+        }
+      ~env ~program ~name:"rr" ()
+  in
+  check ti "two rounds" 2 (List.length rounds);
+  let r1 = List.nth rounds 0 and r2 = List.nth rounds 1 in
+  (* Round 2's metadata binary already uses round 1's layout: its hot
+     primaries lead its text. *)
+  check tb "round 2 profiled an optimized layout" true
+    (r2.metadata_build.binary.Linker.Binary.uid
+    <> r1.metadata_build.binary.Linker.Binary.uid);
+  List.iter
+    (fun (r : Propeller.Pipeline.result) ->
+      List.iter
+        (fun (p : Codegen.Directive.func_plan) ->
+          let f = Ir.Program.find_func_exn program p.func in
+          match Codegen.Directive.validate ~num_blocks:(Ir.Func.num_blocks f) p with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e)
+        r.wpa.plans)
+    rounds;
+  (* Round 2 must not regress round 1 on the cycle model. *)
+  let cycles (r : Propeller.Pipeline.result) =
+    let image = Exec.Image.build program (Propeller.Pipeline.optimized_binary r) in
+    let core = Uarch.Core.create Uarch.Core.default_config in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image
+        { Exec.Interp.default_config with requests = spec.requests }
+        (Uarch.Core.sink core)
+    in
+    Uarch.Core.cycles core
+  in
+  check tb "round 2 at least as good" true (cycles r2 <= cycles r1 *. 1.01)
+
+let test_wpa_resource_model () =
+  let _, _, _, result = Lazy.force (fixture) in
+  check tb "peak mem positive" true (result.wpa.peak_mem_bytes > 0);
+  check tb "dcfg counted" true (result.wpa.dcfg_blocks > 0 && result.wpa.dcfg_edges > 0);
+  check tb "hot funcs counted" true (result.wpa.hot_funcs > 0)
+
+let suite =
+  [
+    Alcotest.test_case "dcfg: requires metadata" `Quick test_dcfg_requires_metadata;
+    Alcotest.test_case "dcfg: loop reconstruction" `Quick test_dcfg_reconstruction;
+    Alcotest.test_case "dcfg: block mapping sane" `Quick test_dcfg_block_mapping;
+    Alcotest.test_case "dcfg: call arcs" `Quick test_dcfg_call_arcs;
+    Alcotest.test_case "dcfg: metadata = disassembly view" `Quick test_dcfg_disasm_view_agrees;
+    Alcotest.test_case "wpa: plans valid" `Quick test_wpa_plans_valid;
+    Alcotest.test_case "wpa: ordering covers primaries" `Quick test_wpa_ordering_covers_primaries;
+    Alcotest.test_case "wpa: interproc plans valid" `Quick test_wpa_interproc_plans_valid;
+    Alcotest.test_case "wpa: splitting can be disabled" `Quick test_wpa_split_functions_off;
+    Alcotest.test_case "wpa: block layout hot first" `Quick test_wpa_block_layout_hot_first;
+    Alcotest.test_case "pipeline: cold objects cached" `Quick test_pipeline_reuses_cold_objects;
+    Alcotest.test_case "pipeline: PM/PO shapes" `Quick test_pipeline_po_binary_shape;
+    Alcotest.test_case "pipeline: no perf regression" `Quick test_pipeline_improves_performance;
+    Alcotest.test_case "pipeline: phase times" `Quick test_pipeline_phase_times;
+    Alcotest.test_case "wpa: resource model" `Quick test_wpa_resource_model;
+    Alcotest.test_case "pipeline: multi-round" `Slow test_run_rounds;
+  ]

@@ -1,0 +1,170 @@
+(* Cross-cutting property tests over randomly generated programs and
+   randomly generated (valid) layout plans. *)
+
+(* A generator of small valid programs via progen with random seeds. *)
+let program_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* units = int_range 2 6 in
+    return (seed, units))
+
+let program_arb =
+  QCheck.make
+    ~print:(fun (seed, units) -> Printf.sprintf "seed=%d units=%d" seed units)
+    program_gen
+
+let make_program (seed, units) =
+  let spec =
+    {
+      (Option.get (Progen.Suite.by_name "505.mcf")) with
+      Progen.Spec.name = "prop";
+      seed = Int64.of_int seed;
+      num_units = units;
+      funcs_per_unit_mean = 6.0;
+      blocks_per_func_mean = 8.0;
+    }
+  in
+  Progen.Generate.program spec
+
+(* A random valid plan for a function: a random permutation of a random
+   subset of blocks, entry first. *)
+let random_plan rng (f : Ir.Func.t) =
+  let n = Ir.Func.num_blocks f in
+  if n < 2 then None
+  else begin
+    let ids = Array.init (n - 1) (fun i -> i + 1) in
+    Support.Rng.shuffle rng ids;
+    let keep = 1 + Support.Rng.int rng (n - 1) in
+    let prefix = Array.to_list (Array.sub ids 0 (min keep (n - 1))) in
+    Some
+      {
+        Codegen.Directive.func = f.name;
+        clusters =
+          [ { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = 0 :: prefix } ];
+      }
+  end
+
+let run_stats program plans =
+  let objs = Codegen.compile_program { Codegen.default_options with plans } program in
+  let { Linker.Link.binary; _ } = Linker.Link.link ~name:"p" ~entry:"main" objs in
+  let image = Exec.Image.build program binary in
+  Exec.Interp.run image { Exec.Interp.default_config with requests = 10 } Exec.Event.null
+
+(* The flagship invariant: any valid re-layout preserves the logical
+   trace (same blocks, calls, conditional branches, data-miss rolls). *)
+let relayout_invariance_law =
+  QCheck.Test.make ~count:25 ~name:"random cluster plans preserve the logical trace"
+    program_arb
+    (fun input ->
+      let program = make_program input in
+      let rng = Support.Rng.create (Int64.of_int (fst input + 999)) in
+      let plans =
+        Ir.Program.fold_funcs program [] (fun acc f ->
+            match random_plan rng f with Some p -> p :: acc | None -> acc)
+      in
+      let s0 = run_stats program [] in
+      let s1 = run_stats program plans in
+      s0.blocks_executed = s1.blocks_executed
+      && s0.calls = s1.calls
+      && s0.cond_branches = s1.cond_branches
+      && s0.dmisses + s0.dcovered = s1.dmisses + s1.dcovered)
+
+(* Linking is deterministic: two identical links place every block at
+   the same address. *)
+let link_determinism_law =
+  QCheck.Test.make ~count:20 ~name:"linking is deterministic" program_arb
+    (fun input ->
+      let program = make_program input in
+      let build () =
+        let objs = Codegen.compile_program Codegen.default_options program in
+        (Linker.Link.link ~name:"d" ~entry:"main" objs).binary
+      in
+      let b1 = build () and b2 = build () in
+      Hashtbl.fold
+        (fun key (i1 : Linker.Binary.block_info) acc ->
+          acc
+          &&
+          let i2 = Hashtbl.find b2.blocks key in
+          i1.addr = i2.Linker.Binary.addr && i1.size = i2.Linker.Binary.size)
+        b1.blocks true)
+
+(* The PM binary's address map tells the truth: every entry matches the
+   placed block exactly (offset and size), for random programs. *)
+let bbmap_truth_law =
+  QCheck.Test.make ~count:20 ~name:"bb address map matches final placement" program_arb
+    (fun input ->
+      let program = make_program input in
+      let objs =
+        Codegen.compile_program { Codegen.default_options with emit_bb_addr_map = true } program
+      in
+      let { Linker.Link.binary; _ } =
+        Linker.Link.link
+          ~options:{ Linker.Link.default_options with keep_bb_addr_map = true }
+          ~name:"m" ~entry:"main" objs
+      in
+      List.for_all
+        (fun (fm : Objfile.Bbmap.func_map) ->
+          match Linker.Binary.symbol_addr binary fm.func with
+          | None -> false
+          | Some sym ->
+            let owner = Objfile.Symname.owner fm.func in
+            List.for_all
+              (fun (e : Objfile.Bbmap.entry) ->
+                match Linker.Binary.block_info binary ~func:owner ~block:e.bb_id with
+                | Some info -> info.addr = sym + e.offset && info.size = e.size
+                | None -> false)
+              fm.entries)
+        binary.bb_maps)
+
+(* Relaxation only shrinks: relaxed text is never larger, and re-linking
+   the relaxed order again is a fixpoint (same size). *)
+let relax_monotone_law =
+  QCheck.Test.make ~count:20 ~name:"relaxation shrinks text monotonically" program_arb
+    (fun input ->
+      let program = make_program input in
+      let objs = Codegen.compile_program Codegen.default_options program in
+      let link relax =
+        (Linker.Link.link ~options:{ Linker.Link.default_options with relax } ~name:"r"
+           ~entry:"main" objs)
+          .binary
+      in
+      Linker.Binary.text_bytes (link true) <= Linker.Binary.text_bytes (link false))
+
+(* Small programs can regress (the paper's SPEC sweep shows up to -3.9%
+   on cache-resident benchmarks), but the pipeline must never be
+   catastrophic: bounded to 5% on random tiny programs. *)
+let pipeline_no_regression_law =
+  QCheck.Test.make ~count:8 ~name:"pipeline regression bounded (5%)" program_arb
+    (fun input ->
+      let program = make_program input in
+      let env = Buildsys.Driver.make_env () in
+      let base = Propeller.Pipeline.baseline_build ~env ~program ~name:"b" in
+      let prop =
+        Propeller.Pipeline.run
+          ~config:
+            {
+              Propeller.Pipeline.default_config with
+              profile_run = { Exec.Interp.default_config with requests = 30 };
+            }
+          ~env ~program ~name:"p" ()
+      in
+      let cycles binary =
+        let image = Exec.Image.build program binary in
+        let core = Uarch.Core.create Uarch.Core.default_config in
+        let (_ : Exec.Interp.stats) =
+          Exec.Interp.run image
+            { Exec.Interp.default_config with requests = 30 }
+            (Uarch.Core.sink core)
+        in
+        Uarch.Core.cycles core
+      in
+      cycles (Propeller.Pipeline.optimized_binary prop) <= cycles base.binary *. 1.05)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest relayout_invariance_law;
+    QCheck_alcotest.to_alcotest link_determinism_law;
+    QCheck_alcotest.to_alcotest bbmap_truth_law;
+    QCheck_alcotest.to_alcotest relax_monotone_law;
+    QCheck_alcotest.to_alcotest pipeline_no_regression_law;
+  ]

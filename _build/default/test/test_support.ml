@@ -1,0 +1,205 @@
+open Testutil
+
+(* --- Rng --------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Support.Rng.create 42L and b = Support.Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Support.Rng.next a) (Support.Rng.next b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Support.Rng.create 42L in
+  let c1 = Support.Rng.split parent 1 and c2 = Support.Rng.split parent 2 in
+  check tb "children differ" true (Support.Rng.next c1 <> Support.Rng.next c2);
+  (* Splitting must not advance the parent. *)
+  let fresh = Support.Rng.create 42L in
+  check Alcotest.int64 "parent unperturbed" (Support.Rng.next fresh) (Support.Rng.next parent)
+
+let test_rng_int_range () =
+  let rng = Support.Rng.create 1L in
+  for _ = 1 to 10_000 do
+    let v = Support.Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Support.Rng.create 1L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Support.Rng.int rng 0))
+
+let test_rng_float_range () =
+  let rng = Support.Rng.create 2L in
+  for _ = 1 to 10_000 do
+    let v = Support.Rng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_bool_bias () =
+  let rng = Support.Rng.create 3L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Support.Rng.bool rng 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check tb "rate near 0.25" true (rate > 0.22 && rate < 0.28)
+
+let test_rng_geometric_mean () =
+  let rng = Support.Rng.create 4L in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Support.Rng.geometric rng 0.25
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* Expected mean of a geometric with p = 0.25 is 4. *)
+  check tb "mean near 4" true (mean > 3.6 && mean < 4.4)
+
+let test_hash_choice_stateless () =
+  check tb "same keys same answer" true
+    (Support.Rng.hash_choice 5 9 0.5 = Support.Rng.hash_choice 5 9 0.5);
+  let hits = ref 0 in
+  for k = 1 to 10_000 do
+    if Support.Rng.hash_choice 77 k 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  check tb "bias respected" true (rate > 0.27 && rate < 0.33)
+
+let shuffle_permutation_law =
+  QCheck.Test.make ~count:200 ~name:"shuffle is a permutation"
+    QCheck.(list small_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let rng = Support.Rng.create 11L in
+      Support.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+(* --- Pqueue ------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Support.Pqueue.create () in
+  List.iter (fun (p, v) -> ignore (Support.Pqueue.add q ~priority:p v))
+    [ (1.0, "a"); (5.0, "b"); (3.0, "c"); (4.0, "d"); (2.0, "e") ];
+  let order = ref [] in
+  let rec drain () =
+    match Support.Pqueue.pop_max q with
+    | Some (v, _) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list string) "descending priority" [ "b"; "d"; "c"; "e"; "a" ]
+    (List.rev !order)
+
+let test_pqueue_ties_fifo () =
+  let q = Support.Pqueue.create () in
+  ignore (Support.Pqueue.add q ~priority:1.0 "first");
+  ignore (Support.Pqueue.add q ~priority:1.0 "second");
+  (match Support.Pqueue.pop_max q with
+  | Some (v, _) -> check ts "insertion order breaks ties" "first" v
+  | None -> Alcotest.fail "empty")
+
+let test_pqueue_update () =
+  let q = Support.Pqueue.create () in
+  let h = Support.Pqueue.add q ~priority:1.0 "low" in
+  ignore (Support.Pqueue.add q ~priority:5.0 "high");
+  Support.Pqueue.update q h ~priority:10.0;
+  (match Support.Pqueue.pop_max q with
+  | Some (v, p) ->
+    check ts "updated wins" "low" v;
+    check tf "priority" 10.0 p
+  | None -> Alcotest.fail "empty")
+
+let test_pqueue_remove () =
+  let q = Support.Pqueue.create () in
+  let h = Support.Pqueue.add q ~priority:9.0 "gone" in
+  ignore (Support.Pqueue.add q ~priority:1.0 "stays");
+  Support.Pqueue.remove q h;
+  check tb "handle dead" false (Support.Pqueue.mem q h);
+  (match Support.Pqueue.pop_max q with
+  | Some (v, _) -> check ts "survivor" "stays" v
+  | None -> Alcotest.fail "empty");
+  Alcotest.check_raises "double remove" (Invalid_argument "Pqueue.remove: dead handle")
+    (fun () -> Support.Pqueue.remove q h)
+
+let pqueue_sorted_law =
+  QCheck.Test.make ~count:200 ~name:"pqueue drains sorted"
+    QCheck.(list (pair (float_range (-100.) 100.) small_int))
+    (fun items ->
+      let q = Support.Pqueue.create () in
+      List.iter (fun (p, v) -> ignore (Support.Pqueue.add q ~priority:p v)) items;
+      let rec drain acc =
+        match Support.Pqueue.pop_max q with
+        | Some (_, p) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let prios = drain [] in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a >= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      sorted prios && List.length prios = List.length items)
+
+let pqueue_update_law =
+  QCheck.Test.make ~count:200 ~name:"pqueue respects updates"
+    QCheck.(list (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun items ->
+      let q = Support.Pqueue.create () in
+      let handles = List.map (fun (p, _) -> Support.Pqueue.add q ~priority:p ()) items in
+      List.iter2 (fun h (_, p') -> Support.Pqueue.update q h ~priority:p') handles items;
+      let rec drain acc =
+        match Support.Pqueue.pop_max q with Some (_, p) -> drain (p :: acc) | None -> acc
+      in
+      let got = List.sort compare (drain []) in
+      let want = List.sort compare (List.map snd items) in
+      got = want)
+
+(* --- Digesting / Stats ------------------------------------------- *)
+
+let test_digest_stable () =
+  let a = Support.Digesting.of_string "hello" in
+  let b = Support.Digesting.of_string "hello" in
+  check tb "equal digests" true (Support.Digesting.equal a b);
+  check ts "hex stable" (Support.Digesting.to_hex a) (Support.Digesting.to_hex b)
+
+let test_digest_distinct () =
+  let a = Support.Digesting.of_string "hello" in
+  let b = Support.Digesting.of_string "hellp" in
+  check tb "different content different digest" false (Support.Digesting.equal a b)
+
+let test_digest_concat_order () =
+  let a = Support.Digesting.of_string "a" and b = Support.Digesting.of_string "b" in
+  check tb "order matters" false
+    (Support.Digesting.equal (Support.Digesting.concat [ a; b ]) (Support.Digesting.concat [ b; a ]))
+
+let test_stats () =
+  check tf "mean" 2.0 (Support.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check tf "sum" 6.0 (Support.Stats.sum [ 1.0; 2.0; 3.0 ]);
+  check tf "ratio" 50.0 (Support.Stats.ratio_pct 3.0 2.0);
+  check tf "p50" 2.0 (Support.Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  check tb "geomean" true (abs_float (Support.Stats.geomean [ 1.0; 4.0 ] -. 2.0) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: int range" `Quick test_rng_int_range;
+    Alcotest.test_case "rng: int rejects <=0" `Quick test_rng_int_rejects_nonpositive;
+    Alcotest.test_case "rng: float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng: bool bias" `Quick test_rng_bool_bias;
+    Alcotest.test_case "rng: geometric mean" `Quick test_rng_geometric_mean;
+    Alcotest.test_case "rng: hash_choice stateless" `Quick test_hash_choice_stateless;
+    Alcotest.test_case "pqueue: pop order" `Quick test_pqueue_order;
+    Alcotest.test_case "pqueue: fifo ties" `Quick test_pqueue_ties_fifo;
+    Alcotest.test_case "pqueue: update" `Quick test_pqueue_update;
+    Alcotest.test_case "pqueue: remove" `Quick test_pqueue_remove;
+    QCheck_alcotest.to_alcotest pqueue_sorted_law;
+    QCheck_alcotest.to_alcotest shuffle_permutation_law;
+    QCheck_alcotest.to_alcotest pqueue_update_law;
+    Alcotest.test_case "digest: stable" `Quick test_digest_stable;
+    Alcotest.test_case "digest: distinct" `Quick test_digest_distinct;
+    Alcotest.test_case "digest: concat order" `Quick test_digest_concat_order;
+    Alcotest.test_case "stats: basics" `Quick test_stats;
+  ]

@@ -1,0 +1,200 @@
+open Testutil
+
+(* --- Cache -------------------------------------------------------- *)
+
+let test_cache_basic_hit_miss () =
+  let c = Uarch.Cache.create Uarch.Cache.l1i_params in
+  check tb "cold miss" false (Uarch.Cache.access c 0x1000);
+  check tb "warm hit" true (Uarch.Cache.access c 0x1000);
+  check tb "same line hit" true (Uarch.Cache.access c 0x103f);
+  check tb "next line miss" false (Uarch.Cache.access c 0x1040)
+
+let test_cache_capacity () =
+  (* 32 KiB L1i: a 16 KiB loop fits, a 1 MiB loop thrashes. *)
+  let c = Uarch.Cache.create Uarch.Cache.l1i_params in
+  let sweep bytes =
+    let misses = ref 0 in
+    for _ = 1 to 3 do
+      let a = ref 0 in
+      while !a < bytes do
+        if not (Uarch.Cache.access c !a) then incr misses;
+        a := !a + 64
+      done
+    done;
+    !misses
+  in
+  let small = sweep (16 * 1024) in
+  Uarch.Cache.reset c;
+  let large = sweep (1024 * 1024) in
+  (* Small working set: only compulsory misses on the first pass. *)
+  check ti "resident set hits" (16 * 1024 / 64) small;
+  check tb "thrashing misses every pass" true (large > 3 * (1024 * 1024 / 64) - 100)
+
+let test_cache_lru () =
+  (* Direct-mapped-ish check: fill one set beyond its ways and confirm
+     the least recently used line is the victim. *)
+  let p = { Uarch.Cache.sets = 2; ways = 2; line_bytes = 64 } in
+  let c = Uarch.Cache.create p in
+  (* Set 0 lines: 0, 128, 256 (every 2*64 maps to set 0). *)
+  ignore (Uarch.Cache.access c 0);
+  ignore (Uarch.Cache.access c 128);
+  ignore (Uarch.Cache.access c 0);
+  (* touching 0 makes 128 the LRU *)
+  ignore (Uarch.Cache.access c 256);
+  (* evicts 128 *)
+  check tb "0 survives" true (Uarch.Cache.access c 0);
+  check tb "128 evicted" false (Uarch.Cache.access c 128)
+
+let test_cache_reset () =
+  let c = Uarch.Cache.create Uarch.Cache.l1i_params in
+  ignore (Uarch.Cache.access c 4096);
+  Uarch.Cache.reset c;
+  check tb "cold after reset" false (Uarch.Cache.access c 4096)
+
+(* --- TLB ---------------------------------------------------------- *)
+
+let test_tlb_4k () =
+  let t = Uarch.Tlb.create Uarch.Tlb.skylake ~hugepages:false in
+  check tb "cold miss" false (Uarch.Tlb.access t 0x400000);
+  check tb "same page hit" true (Uarch.Tlb.access t 0x400fff);
+  check tb "next page miss" false (Uarch.Tlb.access t 0x401000)
+
+let test_tlb_2m_reach () =
+  (* 8 x 2M entries cover 16 MB; with 4K pages, 128 entries cover only
+     512 KB — the hugepage effect of 5.5. *)
+  let code_bytes = 4 * 1024 * 1024 in
+  let sweep t =
+    let misses = ref 0 in
+    for _ = 1 to 3 do
+      let a = ref 0 in
+      while !a < code_bytes do
+        if not (Uarch.Tlb.access t !a) then incr misses;
+        a := !a + 4096
+      done
+    done;
+    !misses
+  in
+  let small_pages = sweep (Uarch.Tlb.create Uarch.Tlb.skylake ~hugepages:false) in
+  let huge_pages = sweep (Uarch.Tlb.create Uarch.Tlb.skylake ~hugepages:true) in
+  check tb "hugepages dramatically fewer misses" true (huge_pages * 10 < small_pages)
+
+let test_tlb_page_scaling () =
+  (* Shrinking pages by 2^4 makes a working set that fit before now
+     overflow the same entry count. *)
+  let code = 400 * 1024 in
+  let sweep t =
+    let misses = ref 0 in
+    for _ = 1 to 2 do
+      let a = ref 0 in
+      while !a < code do
+        if not (Uarch.Tlb.access t !a) then incr misses;
+        a := !a + 512
+      done
+    done;
+    !misses
+  in
+  let normal = sweep (Uarch.Tlb.create Uarch.Tlb.skylake ~hugepages:false) in
+  let scaled =
+    sweep (Uarch.Tlb.create ~page_scale_bits:4 Uarch.Tlb.skylake ~hugepages:false)
+  in
+  check tb "scaled pages raise pressure" true (scaled > 2 * normal)
+
+(* --- BTB ---------------------------------------------------------- *)
+
+let test_btb_resteer_once () =
+  let b = Uarch.Btb.create Uarch.Btb.skylake in
+  check tb "first taken resteers" true (Uarch.Btb.taken b ~src:0x1234);
+  check tb "tracked afterwards" false (Uarch.Btb.taken b ~src:0x1234)
+
+let test_btb_capacity_pressure () =
+  let b = Uarch.Btb.create { Uarch.Btb.entries = 16; ways = 2 } in
+  (* 64 distinct branches > 16 entries: revisiting them must resteer. *)
+  for i = 0 to 63 do
+    ignore (Uarch.Btb.taken b ~src:(i * 8))
+  done;
+  let resteers = ref 0 in
+  for i = 0 to 63 do
+    if Uarch.Btb.taken b ~src:(i * 8) then incr resteers
+  done;
+  check tb "pressure causes resteers" true (!resteers > 32)
+
+(* --- Core counters ------------------------------------------------ *)
+
+let core_run ?(hugepages = false) program binary requests =
+  let image = Exec.Image.build program binary in
+  let core = Uarch.Core.create { Uarch.Core.default_config with hugepages } in
+  let stats = Exec.Interp.run image { Exec.Interp.default_config with requests } (Uarch.Core.sink core) in
+  (stats, Uarch.Core.counters core)
+
+let test_core_counter_sanity () =
+  let _, program = medium_program () in
+  let _, { Linker.Link.binary; _ } = compile_and_link program in
+  let stats, c = core_run program binary 30 in
+  check tb "instructions counted" true (c.instructions > 0);
+  check tb "cycles accumulate" true (c.cycles > 0.0);
+  (* Miss hierarchies are ordered. *)
+  check tb "L2 misses <= L1 misses" true (c.i2_l2_code_miss <= c.i1_l1i_miss);
+  check tb "L3 misses <= L2 misses" true (c.i3_l3_code_miss <= c.i2_l2_code_miss);
+  check tb "stall iTLB <= all iTLB" true (c.t2_itlb_stall_miss <= c.t1_itlb_miss);
+  check tb "resteers <= taken" true (c.b1_baclears <= c.b2_taken_branches);
+  (* The core's taken-branch counter agrees with the interpreter. *)
+  check ti "B2 = taken" (Exec.Interp.taken_branches stats) c.b2_taken_branches
+
+let test_core_counters_deterministic () =
+  let _, program = medium_program () in
+  let _, { Linker.Link.binary; _ } = compile_and_link program in
+  let _, c1 = core_run program binary 20 in
+  let _, c2 = core_run program binary 20 in
+  check tb "same counters" true (c1 = c2)
+
+let test_core_hugepage_itlb () =
+  let _, program = medium_program () in
+  let _, { Linker.Link.binary; _ } =
+    compile_and_link ~link:{ Linker.Link.default_options with text_align = 2 * 1024 * 1024 } program
+  in
+  let _, c4k = core_run ~hugepages:false program binary 30 in
+  let _, c2m = core_run ~hugepages:true program binary 30 in
+  check tb "hugepages reduce iTLB misses" true (c2m.t1_itlb_miss <= c4k.t1_itlb_miss)
+
+(* --- Heatmap ------------------------------------------------------ *)
+
+let test_heatmap_accumulates () =
+  let program = call_program () in
+  let _, { Linker.Link.binary; _ } = compile_and_link program in
+  let hm =
+    Uarch.Heatmap.create ~lo:binary.text_start ~hi:binary.text_end ~rows:8 ~cols:4
+      ~total_requests:20
+  in
+  let image = Exec.Image.build program binary in
+  let (_ : Exec.Interp.stats) =
+    Exec.Interp.run image { Exec.Interp.default_config with requests = 20 } (Uarch.Heatmap.sink hm)
+  in
+  check tb "some rows touched" true (Uarch.Heatmap.occupied_rows hm > 0);
+  let total = ref 0 in
+  for r = 0 to 7 do
+    for c = 0 to 3 do
+      total := !total + Uarch.Heatmap.cell hm ~row:r ~col:c
+    done
+  done;
+  check tb "bytes recorded" true (!total > 0);
+  let rendered = Uarch.Heatmap.render hm in
+  check ti "8 rows rendered" 8 (List.length (String.split_on_char '\n' rendered) - 1);
+  check tb "csv has header" true
+    (String.length (Uarch.Heatmap.to_csv hm) > String.length "row,col,bytes\n")
+
+let suite =
+  [
+    Alcotest.test_case "cache: hit/miss" `Quick test_cache_basic_hit_miss;
+    Alcotest.test_case "cache: capacity" `Quick test_cache_capacity;
+    Alcotest.test_case "cache: LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache: reset" `Quick test_cache_reset;
+    Alcotest.test_case "tlb: 4k pages" `Quick test_tlb_4k;
+    Alcotest.test_case "tlb: hugepage reach" `Quick test_tlb_2m_reach;
+    Alcotest.test_case "tlb: page scaling" `Quick test_tlb_page_scaling;
+    Alcotest.test_case "btb: resteer once" `Quick test_btb_resteer_once;
+    Alcotest.test_case "btb: capacity pressure" `Quick test_btb_capacity_pressure;
+    Alcotest.test_case "core: counter sanity" `Quick test_core_counter_sanity;
+    Alcotest.test_case "core: deterministic" `Quick test_core_counters_deterministic;
+    Alcotest.test_case "core: hugepage iTLB" `Quick test_core_hugepage_itlb;
+    Alcotest.test_case "heatmap" `Quick test_heatmap_accumulates;
+  ]
