@@ -5,7 +5,8 @@
 
 open Cmdliner
 
-let run benchmark requests interproc no_split hugepages prefetch verbose =
+let run benchmark requests interproc no_split hugepages prefetch verbose trace_file metrics
+    metrics_out =
   match Progen.Suite.by_name benchmark with
   | None ->
     Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
@@ -51,7 +52,7 @@ let run benchmark requests interproc no_split hugepages prefetch verbose =
       print_endline "--- ld_prof.txt ---";
       List.iter print_endline result.wpa.ordering
     end;
-    let measure binary =
+    let measure run_name binary =
       let image = Exec.Image.build program binary in
       let core =
         Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
@@ -61,10 +62,11 @@ let run benchmark requests interproc no_split hugepages prefetch verbose =
           { Exec.Interp.default_config with requests = spec.requests }
           (Uarch.Core.sink core)
       in
+      Uarch.Core.publish ~recorder:env.Buildsys.Driver.recorder ~name:run_name core;
       Uarch.Core.counters core
     in
-    let cb = measure base.binary in
-    let cp = measure (Propeller.Pipeline.optimized_binary result) in
+    let cb = measure "base" base.binary in
+    let cp = measure "propeller" (Propeller.Pipeline.optimized_binary result) in
     Printf.printf "performance: baseline %.3e cycles -> propeller %.3e cycles (%+.2f%%)\n"
       cb.cycles cp.cycles
       ((cb.cycles -. cp.cycles) /. cb.cycles *. 100.0);
@@ -73,7 +75,38 @@ let run benchmark requests interproc no_split hugepages prefetch verbose =
       (Support.Stats.ratio_pct (float_of_int cp.t1_itlb_miss) (float_of_int cb.t1_itlb_miss))
       (Support.Stats.ratio_pct
          (float_of_int cp.b2_taken_branches)
-         (float_of_int cb.b2_taken_branches))
+         (float_of_int cb.b2_taken_branches));
+    let recorder = env.Buildsys.Driver.recorder in
+    let write_file file contents =
+      match open_out file with
+      | oc ->
+        output_string oc contents;
+        close_out oc
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write %s: %s\n" file msg;
+        exit 1
+    in
+    (match trace_file with
+    | None -> ()
+    | Some file ->
+      let contents = Obs.Recorder.trace_json recorder in
+      write_file file contents;
+      (* Validate what we just wrote with our own parser, so the smoke
+         script needs no external JSON tooling. *)
+      (match Obs.Json.parse contents with
+      | Ok _ ->
+        Printf.printf "trace: %d events -> %s (valid JSON)\n"
+          (Obs.Trace.num_events (Obs.Recorder.trace recorder))
+          file
+      | Error e ->
+        Printf.eprintf "trace: INVALID JSON written to %s: %s\n" file e;
+        exit 1));
+    if metrics then print_string (Obs.Recorder.metrics_report recorder);
+    match metrics_out with
+    | None -> ()
+    | Some file ->
+      write_file file (Obs.Recorder.metrics_json recorder);
+      Printf.printf "metrics: %s\n" file
 
 let benchmark =
   Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
@@ -93,10 +126,27 @@ let prefetch =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump cc_prof/ld_prof.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing).")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics report (counters/gauges/histograms).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the metrics report as JSON to $(docv).")
+
 let cmd =
   Cmd.v
     (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
     Term.(
-      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ verbose)
+      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ verbose
+      $ trace_file $ metrics $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

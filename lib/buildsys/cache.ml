@@ -1,0 +1,36 @@
+type 'a t = {
+  entries : (Support.Digesting.t, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stored : int;
+}
+
+let create () = { entries = Hashtbl.create 256; hits = 0; misses = 0; stored = 0 }
+
+let find_or_add c key ~size compute =
+  match Hashtbl.find_opt c.entries key with
+  | Some v ->
+    c.hits <- c.hits + 1;
+    (v, true)
+  | None ->
+    c.misses <- c.misses + 1;
+    let v = compute () in
+    Hashtbl.add c.entries key v;
+    c.stored <- c.stored + size v;
+    (v, false)
+
+let hits c = c.hits
+
+let misses c = c.misses
+
+let stored_bytes c = c.stored
+
+let hit_rate c =
+  let total = c.hits + c.misses in
+  if total = 0 then 0.0 else float_of_int c.hits /. float_of_int total
+
+let num_entries c = Hashtbl.length c.entries
+
+let reset_stats c =
+  c.hits <- 0;
+  c.misses <- 0

@@ -1,0 +1,37 @@
+(** The content-addressed artifact cache (paper §3.1, §3.4).
+
+    Actions are keyed by a digest of (tool, inputs, flags); a key hit
+    returns the stored artifact without running the action — the
+    mechanism that makes Propeller's Phase-4 relink cheap: only objects
+    whose directives changed get re-generated, everything cold is a
+    cache hit.
+
+    Hit/miss/stored-bytes accounting is kept per cache; {!Driver}
+    mirrors the deltas into its telemetry recorder. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [find_or_add c key ~size compute] returns [(artifact, hit)]: the
+    cached artifact when [key] is present ([hit = true]), otherwise
+    [compute ()], stored under [key] and charged [size artifact] bytes
+    ([hit = false]). *)
+val find_or_add : 'a t -> Support.Digesting.t -> size:('a -> int) -> (unit -> 'a) -> 'a * bool
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+(** [stored_bytes c] is the total size of all stored artifacts. *)
+val stored_bytes : 'a t -> int
+
+(** [hit_rate c] is [hits / (hits + misses)]; 0 before any lookup. *)
+val hit_rate : 'a t -> float
+
+(** [num_entries c] counts stored artifacts. *)
+val num_entries : 'a t -> int
+
+(** [reset_stats c] zeroes the hit/miss counters; contents (and their
+    [stored_bytes] accounting) survive. *)
+val reset_stats : 'a t -> unit

@@ -1,0 +1,29 @@
+(* Backend actions: a compiler invocation pays process + IR-reading
+   startup, then generates code at a fixed throughput. The constants
+   put a ~3 KB scaled unit at ~0.5 s, so a 12-unit test program builds
+   in seconds and the Table-5 scale-up lands in paper-like minutes. *)
+let codegen_startup_seconds = 0.4
+
+let codegen_bytes_per_second = 25_000.0
+
+let codegen_seconds ~code_bytes =
+  codegen_startup_seconds +. (float_of_int code_bytes /. codegen_bytes_per_second)
+
+let codegen_mem ~code_bytes = (160 * 1024 * 1024) + (48 * code_bytes)
+
+let instrumentation_overhead = 1.30
+
+(* Phase 3 streams the raw profile in fixed chunks (5.1): the profile
+   contribution to peak RSS is capped at one chunk, so conversion
+   memory is dominated by the DCFG — blocks and edges that actually
+   took samples — not by binary or perf.data size. *)
+let profile_chunk_bytes = 256 * 1024 * 1024
+
+let wpa_mem ~profile_bytes ~dcfg_blocks ~dcfg_edges =
+  (48 * 1024 * 1024)
+  + (160 * dcfg_blocks)
+  + (56 * dcfg_edges)
+  + (min profile_bytes profile_chunk_bytes / 8)
+
+let wpa_seconds ~profile_edges ~dcfg_blocks =
+  2.0 +. (float_of_int profile_edges /. 150_000.0) +. (float_of_int dcfg_blocks /. 40_000.0)

@@ -1,0 +1,30 @@
+(** Build-system resource cost models.
+
+    Like {!Linker.Costmodel} and {!Boltsim.Costmodel}, absolute
+    constants are calibration; the benches compare shapes (who wins,
+    ratios, crossovers — Table 5, Fig 4, Fig 9). All outputs are
+    deterministic functions of program/profile sizes. *)
+
+(** [codegen_seconds ~code_bytes] — one backend action's compile time:
+    constant startup plus throughput-limited code generation.
+    Monotonic in [code_bytes]. *)
+val codegen_seconds : code_bytes:int -> float
+
+(** [codegen_mem ~code_bytes] — one backend action's peak RSS. *)
+val codegen_mem : code_bytes:int -> int
+
+(** Wall-time multiplier of an instrumented (-fprofile-generate) build
+    over the plain build — the "PGO: Instrumented build" row of
+    Table 5. *)
+val instrumentation_overhead : float
+
+(** [wpa_mem ~profile_bytes ~dcfg_blocks ~dcfg_edges] — Phase-3 profile
+    conversion + whole-program-analysis peak RSS (Fig 4). The profile
+    term is capped: raw profiles are read in fixed-size chunks (§5.1),
+    so peak memory scales with the DCFG, not the perf.data size —
+    unlike BOLT's {!Boltsim.Costmodel.conversion_mem}. *)
+val wpa_mem : profile_bytes:int -> dcfg_blocks:int -> dcfg_edges:int -> int
+
+(** [wpa_seconds ~profile_edges ~dcfg_blocks] — Phase-3 conversion +
+    analysis time (Table 5 "Convert"). *)
+val wpa_seconds : profile_edges:int -> dcfg_blocks:int -> float

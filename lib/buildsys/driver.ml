@@ -1,0 +1,140 @@
+type env = {
+  obj_cache : Objfile.File.t Cache.t;
+  workers : int;
+  mem_limit : int option;
+  recorder : Obs.Recorder.t;
+}
+
+(* Default pool models the distributed backend of a warehouse-scale
+   build (paper §3.1): wide enough that codegen wall time is dominated
+   by the longest unit, not by queueing. *)
+let make_env ?(workers = 256) ?mem_limit ?recorder () =
+  let recorder =
+    match recorder with Some r -> r | None -> Obs.Recorder.global
+  in
+  { obj_cache = Cache.create (); workers; mem_limit; recorder }
+
+type result = {
+  binary : Linker.Binary.t;
+  objs : Objfile.File.t list;
+  cache_hits : int;
+  cache_misses : int;
+  wall_seconds : float;
+  cpu_seconds : float;
+  codegen_report : Scheduler.result;
+  link_stats : Linker.Link.stats;
+}
+
+let tool_digest = Support.Digesting.of_string "propeller-backend-v1"
+
+(* Function IR digests are memoized structurally: units are immutable
+   between builds, so the Phase-4 rebuild re-digests nothing. *)
+let func_digests : (Ir.Func.t, Support.Digesting.t) Hashtbl.t =
+  Hashtbl.create 1024
+
+let func_digest f =
+  match Hashtbl.find_opt func_digests f with
+  | Some d -> d
+  | None ->
+    let d = Support.Digesting.of_string (Format.asprintf "%a" Ir.Func.pp f) in
+    Hashtbl.replace func_digests f d;
+    d
+
+let unit_action_key (u : Ir.Cunit.t) (options : Codegen.options) =
+  (* Only directives and prefetch sites naming this unit's functions
+     enter the key: a plan for a foreign unit must not invalidate it. *)
+  let plans =
+    List.filter
+      (fun (p : Codegen.Directive.func_plan) -> Ir.Cunit.mem u p.func)
+      options.plans
+  in
+  let sites =
+    List.filter (fun (f, _) -> Ir.Cunit.mem u f) options.prefetch_sites
+  in
+  let flags =
+    Printf.sprintf "unit=%s|rodata=%d|data=%d|bbmap=%b|pgo=%b|sites=%s"
+      u.name u.rodata u.data options.emit_bb_addr_map options.pgo_layout
+      (String.concat ";"
+         (List.map (fun (f, b) -> Printf.sprintf "%s#%d" f b) sites))
+  in
+  Support.Digesting.concat
+    ((tool_digest :: List.map func_digest u.funcs)
+    @ [
+        Support.Digesting.of_string flags;
+        Support.Digesting.of_string (Codegen.Directive.to_text plans);
+      ])
+
+let build env ~name ~program ~codegen_options ~link_options =
+  let r = env.recorder in
+  Obs.Recorder.with_span r ("build:" ^ name) @@ fun () ->
+  let hits = ref 0 and misses = ref 0 in
+  let actions = ref [] in
+  let objs, codegen_report =
+    Obs.Recorder.with_span r "codegen" @@ fun () ->
+    let objs =
+      List.map
+        (fun (u : Ir.Cunit.t) ->
+          let key = unit_action_key u codegen_options in
+          let obj, hit =
+            Cache.find_or_add env.obj_cache key ~size:Objfile.File.total_size
+              (fun () -> Codegen.compile_unit codegen_options u)
+          in
+          (if hit then incr hits
+           else begin
+             incr misses;
+             let code_bytes = Ir.Cunit.code_bytes u in
+             let a =
+               {
+                 Scheduler.label = u.name;
+                 cpu_seconds = Costmodel.codegen_seconds ~code_bytes;
+                 peak_mem_bytes = Costmodel.codegen_mem ~code_bytes;
+               }
+             in
+             Obs.Recorder.observe r "buildsys.action.cpu_seconds" a.cpu_seconds;
+             actions := a :: !actions
+           end);
+          obj)
+        (Ir.Program.units program)
+    in
+    let report =
+      Scheduler.schedule ?mem_limit:env.mem_limit ~workers:env.workers
+        (List.rev !actions)
+    in
+    Obs.Recorder.advance r report.wall_seconds;
+    Obs.Recorder.span_args r
+      [
+        ("actions", Obs.Trace.Int report.num_actions);
+        ("cache_hits", Obs.Trace.Int !hits);
+        ("workers", Obs.Trace.Int env.workers);
+      ];
+    (objs, report)
+  in
+  let outcome =
+    Obs.Recorder.with_span r "link" @@ fun () ->
+    let o =
+      Linker.Link.link ~recorder:r ~options:link_options ~name
+        ~entry:(Ir.Program.main program) objs
+    in
+    Obs.Recorder.advance r o.stats.cpu_seconds;
+    o
+  in
+  Obs.Recorder.incr_counter r "buildsys.builds";
+  Obs.Recorder.add_counter r "buildsys.cache.hits" !hits;
+  Obs.Recorder.add_counter r "buildsys.cache.misses" !misses;
+  Obs.Recorder.set_gauge r "buildsys.cache.stored_bytes"
+    (float_of_int (Cache.stored_bytes env.obj_cache));
+  Obs.Recorder.counter_sample r "buildsys.cache"
+    [
+      ("hits", float_of_int (Cache.hits env.obj_cache));
+      ("misses", float_of_int (Cache.misses env.obj_cache));
+    ];
+  {
+    binary = outcome.binary;
+    objs;
+    cache_hits = !hits;
+    cache_misses = !misses;
+    wall_seconds = codegen_report.wall_seconds +. outcome.stats.cpu_seconds;
+    cpu_seconds = codegen_report.cpu_seconds +. outcome.stats.cpu_seconds;
+    codegen_report;
+    link_stats = outcome.stats;
+  }

@@ -1,0 +1,55 @@
+(** The distributed-build driver (paper §3.1, §3.4).
+
+    A build turns a program into one object per compilation unit plus a
+    linked binary. Each unit is one *action*, keyed by a content digest
+    of (tool, unit IR, relevant codegen flags); the object comes from
+    the content-addressed {!Cache} on a key hit and from a scheduled
+    backend run on a miss. Phase 4 of the pipeline exploits this: only
+    units whose layout directives changed get new action keys, so the
+    relink re-generates ~hot objects and reuses everything else.
+
+    Every build is instrumented: spans for the codegen fan-out and the
+    link (on the env's simulated-clock recorder), cache hit/miss/stored
+    counters, and per-action cost histograms. *)
+
+type env = {
+  obj_cache : Objfile.File.t Cache.t;
+  workers : int;  (** Remote-executor pool size. *)
+  mem_limit : int option;  (** Per-action RSS flag threshold. *)
+  recorder : Obs.Recorder.t;  (** Telemetry scope of this env's builds. *)
+}
+
+(** [make_env ()] builds a fresh env with an empty cache. [recorder]
+    defaults to {!Obs.Recorder.global}; pass a fresh one to isolate a
+    run's telemetry (tests do, to compare two runs' exports). *)
+val make_env :
+  ?workers:int -> ?mem_limit:int -> ?recorder:Obs.Recorder.t -> unit -> env
+
+type result = {
+  binary : Linker.Binary.t;
+  objs : Objfile.File.t list;  (** One per unit, in program unit order. *)
+  cache_hits : int;  (** Units served from the cache in this build. *)
+  cache_misses : int;  (** Units re-generated in this build. *)
+  wall_seconds : float;  (** Codegen makespan + link time. *)
+  cpu_seconds : float;  (** Total backend compute + link time. *)
+  codegen_report : Scheduler.result;  (** The codegen fan-out. *)
+  link_stats : Linker.Link.stats;
+}
+
+(** [unit_action_key u options] is the content-addressed action key of
+    compiling [u] under [options]. Sensitive to the unit's IR, to the
+    global codegen flags, and to the directives/prefetch sites naming
+    functions of *this* unit — a plan for a foreign function must not
+    invalidate it (that selectivity is what Fig 9's cache column
+    measures). *)
+val unit_action_key : Ir.Cunit.t -> Codegen.options -> Support.Digesting.t
+
+(** [build env ~name ~program ~codegen_options ~link_options] compiles
+    every unit (through the cache) and links the result. *)
+val build :
+  env ->
+  name:string ->
+  program:Ir.Program.t ->
+  codegen_options:Codegen.options ->
+  link_options:Linker.Link.options ->
+  result

@@ -1,0 +1,57 @@
+type action = { label : string; cpu_seconds : float; peak_mem_bytes : int }
+
+type placement = { action : action; worker : int; start : float; finish : float }
+
+type result = {
+  num_actions : int;
+  wall_seconds : float;
+  cpu_seconds : float;
+  max_action_mem : int;
+  over_limit : string list;
+  workers : int;
+  placements : placement list;
+}
+
+let schedule ?mem_limit ~workers actions =
+  if workers < 1 then invalid_arg "Scheduler.schedule: workers must be >= 1";
+  let sorted =
+    List.stable_sort
+      (fun (a : action) (b : action) -> compare b.cpu_seconds a.cpu_seconds)
+      actions
+  in
+  let finish = Array.make workers 0.0 in
+  let least_loaded () =
+    let best = ref 0 in
+    for w = 1 to workers - 1 do
+      if finish.(w) < finish.(!best) then best := w
+    done;
+    !best
+  in
+  let placements =
+    List.map
+      (fun (a : action) ->
+        let w = least_loaded () in
+        let start = finish.(w) in
+        finish.(w) <- start +. a.cpu_seconds;
+        { action = a; worker = w; start; finish = finish.(w) })
+      sorted
+  in
+  let over_limit =
+    match mem_limit with
+    | None -> []
+    | Some limit ->
+      List.filter_map (fun (a : action) -> if a.peak_mem_bytes > limit then Some a.label else None) actions
+  in
+  {
+    num_actions = List.length actions;
+    wall_seconds = Array.fold_left Float.max 0.0 finish;
+    cpu_seconds = List.fold_left (fun acc (a : action) -> acc +. a.cpu_seconds) 0.0 actions;
+    max_action_mem = List.fold_left (fun acc (a : action) -> max acc a.peak_mem_bytes) 0 actions;
+    over_limit;
+    workers;
+    placements;
+  }
+
+let worker_timeline r w =
+  List.filter (fun p -> p.worker = w) r.placements
+  |> List.stable_sort (fun (a : placement) (b : placement) -> compare a.start b.start)

@@ -1,0 +1,39 @@
+(** The remote-executor scheduler: places independent actions (backend
+    codegen runs) on a fixed worker pool and accounts the makespan.
+
+    Placement is LPT (longest processing time first): actions sorted by
+    descending cost, each assigned to the least-loaded worker — the
+    classic 4/3-approximation, and a fair stand-in for a work-stealing
+    remote execution service. The resulting per-worker timelines are
+    what the build-phase wall times of Table 5 / Fig 9 are made of.
+
+    Actions whose peak memory exceeds the executor's per-action limit
+    are flagged in [over_limit] (they would be evicted or re-routed to
+    big-RAM workers in the real system — the fate BOLT's monolithic
+    memory profile suffers and Propeller's per-object actions avoid). *)
+
+type action = {
+  label : string;
+  cpu_seconds : float;  (** Modelled backend cost of the action. *)
+  peak_mem_bytes : int;  (** Modelled peak RSS of the action. *)
+}
+
+(** One scheduled run of an action on a worker. *)
+type placement = { action : action; worker : int; start : float; finish : float }
+
+type result = {
+  num_actions : int;
+  wall_seconds : float;  (** Makespan across the pool. *)
+  cpu_seconds : float;  (** Total compute (sum of action costs). *)
+  max_action_mem : int;  (** Peak per-action memory over the set. *)
+  over_limit : string list;  (** Labels exceeding [mem_limit], input order. *)
+  workers : int;
+  placements : placement list;  (** In placement (LPT) order. *)
+}
+
+(** [schedule ?mem_limit ~workers actions] places every action; raises
+    [Invalid_argument] when [workers < 1]. *)
+val schedule : ?mem_limit:int -> workers:int -> action list -> result
+
+(** [worker_timeline r w] is worker [w]'s placements in start order. *)
+val worker_timeline : result -> int -> placement list

@@ -267,7 +267,10 @@ let relax_sweep sections ~deleted ~shrunk =
 let symtab_bytes syms =
   Hashtbl.fold (fun name _ acc -> acc + 24 + String.length name + 1) syms 0
 
-let link ?(options = default_options) ~name ~entry objs =
+let link ?recorder ?(options = default_options) ~name ~entry objs =
+  let recorder =
+    match recorder with Some r -> r | None -> Obs.Recorder.global
+  in
   let input_bytes = List.fold_left (fun acc o -> acc + Objfile.File.total_size o) 0 objs in
   let num_input_sections =
     List.fold_left (fun acc (o : Objfile.File.t) -> acc + List.length o.sections) 0 objs
@@ -391,4 +394,10 @@ let link ?(options = default_options) ~name ~entry objs =
         Costmodel.cpu_seconds ~input_bytes ~num_sections:num_input_sections ~relax_iters;
     }
   in
+  Obs.Recorder.incr_counter recorder "linker.links";
+  Obs.Recorder.add_counter recorder "linker.relax.iters" relax_iters;
+  Obs.Recorder.add_counter recorder "linker.relax.deleted_jumps" !deleted;
+  Obs.Recorder.add_counter recorder "linker.relax.shrunk_branches" !shrunk;
+  Obs.Recorder.add_counter recorder "linker.symbols.resolved" (Hashtbl.length final_syms);
+  Obs.Recorder.observe recorder "linker.cpu_seconds" stats.cpu_seconds;
   { binary; stats }

@@ -41,6 +41,15 @@ type stats = {
 
 type outcome = { binary : Binary.t; stats : stats }
 
-(** [link ?options ~name ~entry objs] produces the executable. Raises
-    {!Link_error} on duplicate or unresolved symbols. *)
-val link : ?options:options -> name:string -> entry:string -> Objfile.File.t list -> outcome
+(** [link ?recorder ?options ~name ~entry objs] produces the
+    executable. Raises {!Link_error} on duplicate or unresolved
+    symbols. Relaxation-iteration, deleted-jump, shrunk-branch and
+    resolved-symbol counters are recorded on [recorder] (default
+    {!Obs.Recorder.global}). *)
+val link :
+  ?recorder:Obs.Recorder.t ->
+  ?options:options ->
+  name:string ->
+  entry:string ->
+  Objfile.File.t list ->
+  outcome

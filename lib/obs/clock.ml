@@ -1,0 +1,11 @@
+type t = { start : float; mutable now : float }
+
+let create ?(start = 0.0) () = { start; now = start }
+
+let now t = t.now
+
+let advance t dt =
+  if dt < 0.0 then invalid_arg "Clock.advance: negative duration";
+  t.now <- t.now +. dt
+
+let reset t = t.now <- t.start

@@ -1,0 +1,132 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, float list ref) Hashtbl.t;  (* reversed observations *)
+}
+
+let create () =
+  { counters = Hashtbl.create 64; gauges = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let cell tbl make name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = make () in
+    Hashtbl.add tbl name r;
+    r
+
+let add_counter t name n =
+  if n < 0 then invalid_arg "Metrics.add_counter: counters are monotonic";
+  let r = cell t.counters (fun () -> ref 0) name in
+  r := !r + n
+
+let incr_counter t name = add_counter t name 1
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v = cell t.gauges (fun () -> ref 0.0) name := v
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let observe t name v =
+  let r = cell t.histograms (fun () -> ref []) name in
+  r := v :: !r
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize = function
+  | [] -> None
+  | xs ->
+    Some
+      {
+        count = List.length xs;
+        sum = Support.Stats.sum xs;
+        mean = Support.Stats.mean xs;
+        stddev = Support.Stats.stddev xs;
+        min = List.fold_left Float.min Float.infinity xs;
+        max = List.fold_left Float.max Float.neg_infinity xs;
+        median = Support.Stats.median xs;
+        p90 = Support.Stats.percentile 90.0 xs;
+        p99 = Support.Stats.percentile 99.0 xs;
+      }
+
+let summary t name =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some r -> summarize !r
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k r acc -> (k, value r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+
+let gauges t = sorted_bindings t.gauges ( ! )
+
+let summaries t =
+  Hashtbl.fold
+    (fun k r acc -> match summarize !r with Some s -> (k, s) :: acc | None -> acc)
+    t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms
+
+let summary_json (s : summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("median", Json.Float s.median);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges t)));
+      ("histograms", Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (summaries t)));
+    ]
+
+let report t =
+  let buf = Buffer.create 1024 in
+  let section name = Printf.bprintf buf "== %s ==\n" name in
+  (match counters t with
+  | [] -> ()
+  | cs ->
+    section "counters";
+    List.iter (fun (k, v) -> Printf.bprintf buf "%-44s %12d\n" k v) cs);
+  (match gauges t with
+  | [] -> ()
+  | gs ->
+    section "gauges";
+    List.iter (fun (k, v) -> Printf.bprintf buf "%-44s %12.3f\n" k v) gs);
+  (match summaries t with
+  | [] -> ()
+  | hs ->
+    section "histograms";
+    List.iter
+      (fun (k, s) ->
+        Printf.bprintf buf
+          "%-44s n=%-6d mean=%-10.3f stddev=%-10.3f p50=%-10.3f p90=%-10.3f p99=%-10.3f max=%.3f\n"
+          k s.count s.mean s.stddev s.median s.p90 s.p99 s.max)
+      hs);
+  Buffer.contents buf

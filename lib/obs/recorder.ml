@@ -1,0 +1,40 @@
+type t = { clk : Clock.t; metrics : Metrics.t; trace : Trace.t }
+
+let create () =
+  let clk = Clock.create () in
+  { clk; metrics = Metrics.create (); trace = Trace.create clk }
+
+let global = create ()
+
+let clock t = t.clk
+
+let metrics t = t.metrics
+
+let trace t = t.trace
+
+let reset t =
+  Clock.reset t.clk;
+  Metrics.reset t.metrics;
+  Trace.reset t.trace
+
+let with_span ?args t name f = Trace.with_span ?args t.trace name f
+
+let span_args t args = Trace.set_args t.trace args
+
+let advance t dt = Clock.advance t.clk dt
+
+let incr_counter t name = Metrics.incr_counter t.metrics name
+
+let add_counter t name n = Metrics.add_counter t.metrics name n
+
+let set_gauge t name v = Metrics.set_gauge t.metrics name v
+
+let observe t name v = Metrics.observe t.metrics name v
+
+let counter_sample t name values = Trace.counter t.trace name values
+
+let trace_json t = Json.to_string (Trace.to_chrome_json t.trace)
+
+let metrics_json t = Json.to_string (Metrics.to_json t.metrics)
+
+let metrics_report t = Metrics.report t.metrics

@@ -1,0 +1,57 @@
+(** One telemetry scope: a simulated {!Clock}, a {!Metrics} registry and
+    a span {!Trace} that share that clock.
+
+    Library code records against a recorder passed in by its caller
+    (e.g. [Buildsys.Driver.env] carries one); code with no natural
+    injection point (a bare [Linker.Link.link] call) defaults to
+    {!global}. Tests that need isolation — e.g. asserting that two
+    identical pipeline runs export byte-identical metrics — create
+    fresh recorders instead. *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide default recorder (what [propeller_driver --trace]
+    exports). *)
+val global : t
+
+val clock : t -> Clock.t
+
+val metrics : t -> Metrics.t
+
+val trace : t -> Trace.t
+
+(** [reset t] clears the metrics, the trace and the clock. *)
+val reset : t -> unit
+
+(* Conveniences that forward to the underlying components. *)
+
+val with_span : ?args:(string * Trace.arg) list -> t -> string -> (unit -> 'a) -> 'a
+
+val span_args : t -> (string * Trace.arg) list -> unit
+
+(** [advance t dt] moves simulated time forward by [dt] seconds. *)
+val advance : t -> float -> unit
+
+val incr_counter : t -> string -> unit
+
+val add_counter : t -> string -> int -> unit
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+
+(** [counter_sample t name values] records a trace counter event. *)
+val counter_sample : t -> string -> (string * float) list -> unit
+
+(* Exporters. *)
+
+(** [trace_json t] is the Chrome trace-event file contents. *)
+val trace_json : t -> string
+
+(** [metrics_json t] is the metrics report as compact JSON. *)
+val metrics_json : t -> string
+
+(** [metrics_report t] is the plain-text metrics report. *)
+val metrics_report : t -> string

@@ -64,6 +64,8 @@ let profiling_window_seconds = 8.0 *. 60.0
    so that round N profiles a binary already laid out by round N-1 (the
    "additional round of hardware profiling" of paper 4.6). *)
 let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
+  let rec_ = env.Buildsys.Driver.recorder in
+  Obs.Recorder.with_span rec_ (Printf.sprintf "round:%d" round) @@ fun () ->
   let cg_meta, ld_meta = metadata_options in
   let cg_meta, ld_meta =
     match prev with
@@ -73,26 +75,44 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
         { ld_meta with Linker.Link.ordering = Some w.ordering } )
   in
   let metadata_build =
+    Obs.Recorder.with_span rec_ "phase:metadata_build" @@ fun () ->
     Buildsys.Driver.build env
       ~name:(Printf.sprintf "%s.pm%d" name round)
       ~program ~codegen_options:cg_meta ~link_options:ld_meta
   in
   (* Phase 3: profile the metadata binary under load. LBR drives the
      layout; PEBS miss samples drive prefetch insertion when enabled. *)
-  let image = Exec.Image.build program metadata_build.binary in
-  let profile = Perfmon.Lbr.create_profile () in
-  let pebs_profile = Perfmon.Pebs.create_profile () in
-  let collector =
-    let lbr = Perfmon.Lbr.collector config.lbr profile in
-    if config.prefetch then Exec.Event.tee lbr (Perfmon.Pebs.collector config.pebs pebs_profile)
-    else lbr
+  let profile, pebs_profile =
+    Obs.Recorder.with_span rec_ "phase:profiling" @@ fun () ->
+    let image = Exec.Image.build program metadata_build.binary in
+    let profile = Perfmon.Lbr.create_profile () in
+    let pebs_profile = Perfmon.Pebs.create_profile () in
+    let collector =
+      let lbr = Perfmon.Lbr.collector config.lbr profile in
+      if config.prefetch then Exec.Event.tee lbr (Perfmon.Pebs.collector config.pebs pebs_profile)
+      else lbr
+    in
+    let (_ : Exec.Interp.stats) = Exec.Interp.run image config.profile_run collector in
+    Obs.Recorder.advance rec_ profiling_window_seconds;
+    Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_samples"
+      profile.Perfmon.Lbr.num_samples;
+    (profile, pebs_profile)
   in
-  let (_ : Exec.Interp.stats) = Exec.Interp.run image config.profile_run collector in
-  let wpa = Wpa.analyze ~config:config.wpa ~profile ~binary:metadata_build.binary () in
-  let prefetch =
-    if config.prefetch then
-      Some (Prefetch.analyze ~pebs:pebs_profile ~binary:metadata_build.binary ())
-    else None
+  let wpa, prefetch =
+    Obs.Recorder.with_span rec_ "phase:wpa" @@ fun () ->
+    let wpa = Wpa.analyze ~config:config.wpa ~profile ~binary:metadata_build.binary () in
+    let prefetch =
+      if config.prefetch then
+        Some (Prefetch.analyze ~pebs:pebs_profile ~binary:metadata_build.binary ())
+      else None
+    in
+    Obs.Recorder.advance rec_ wpa.cpu_seconds;
+    Obs.Recorder.span_args rec_
+      [
+        ("plans", Obs.Trace.Int (List.length wpa.plans));
+        ("peak_mem_bytes", Obs.Trace.Int wpa.peak_mem_bytes);
+      ];
+    (wpa, prefetch)
   in
   (* Phase 4: regenerate hot objects, reuse cold ones, relink. *)
   let cg_opt, ld_opt = optimize_options ~hugepages:config.hugepages wpa in
@@ -102,6 +122,7 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
     | None -> cg_opt
   in
   let optimized_build =
+    Obs.Recorder.with_span rec_ "phase:optimized_build" @@ fun () ->
     Buildsys.Driver.build env
       ~name:(Printf.sprintf "%s.po%d" name round)
       ~program ~codegen_options:cg_opt ~link_options:ld_opt

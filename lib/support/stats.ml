@@ -21,6 +21,20 @@ let percentile p xs =
     let idx = max 0 (min (n - 1) (rank - 1)) in
     arr.(idx)
 
+let stddev = function
+  | [] -> 0.0
+  | xs ->
+    let m = mean xs in
+    sqrt (mean (List.map (fun x -> (x -. m) *. (x -. m)) xs))
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
 let ratio_pct a b = if b = 0.0 then 0.0 else (a -. b) /. b *. 100.0
 
 let pp_bytes fmt n =

@@ -13,6 +13,16 @@ val percentile : float -> float list -> float
 (** [sum xs] sums the list. *)
 val sum : float list -> float
 
+(** [stddev xs] is the population standard deviation; 0 for the empty
+    list (and for singletons, by the formula). *)
+val stddev : float list -> float
+
+(** [median xs] is the true median: the middle element of a sorted copy,
+    or the mean of the two middle elements for even lengths; 0 for the
+    empty list. (Unlike [percentile 50.], which is nearest-rank and
+    always returns an element.) *)
+val median : float list -> float
+
 (** [ratio_pct a b] is [(a - b) / b * 100.], the percent change of [a]
     relative to [b]. *)
 val ratio_pct : float -> float -> float

@@ -59,3 +59,9 @@ val cycles : t -> float
 
 (** [reset t] clears all structures and counters (fresh run). *)
 val reset : t -> unit
+
+(** [publish ?recorder ~name t] records every counter into the
+    recorder's metrics registry as ["uarch.<name>.<counter>"] (default
+    recorder: {!Obs.Recorder.global}). [name] labels the run, e.g.
+    ["base"] or ["propeller"]. *)
+val publish : ?recorder:Obs.Recorder.t -> name:string -> t -> unit

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Repo health check: build, full test suite, and an observability smoke
+# run of the end-to-end driver. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== propeller_driver --trace smoke =="
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+log="$out_dir/driver.log"
+dune exec bin/propeller_driver.exe -- \
+  --benchmark 505.mcf --requests 40 \
+  --trace "$out_dir/trace.json" \
+  --metrics-out "$out_dir/metrics.json" \
+  --metrics >"$log"
+
+# The driver re-parses the trace it wrote with its own JSON parser and
+# reports the verdict; require that confirmation plus both artifacts.
+grep -q "valid JSON" "$log" || {
+  echo "FAIL: driver did not validate the emitted trace" >&2
+  cat "$log" >&2
+  exit 1
+}
+test -s "$out_dir/trace.json" || { echo "FAIL: empty trace.json" >&2; exit 1; }
+test -s "$out_dir/metrics.json" || { echo "FAIL: empty metrics.json" >&2; exit 1; }
+grep -q '"traceEvents"' "$out_dir/trace.json" || {
+  echo "FAIL: trace.json is not a Chrome trace-event file" >&2
+  exit 1
+}
+# One complete-duration span per pipeline phase (paper Table 5 rows).
+for phase in metadata_build profiling wpa optimized_build; do
+  grep -q "\"phase:$phase\"" "$out_dir/trace.json" || {
+    echo "FAIL: trace.json missing phase:$phase span" >&2
+    exit 1
+  }
+done
+grep -q "buildsys.cache" "$out_dir/metrics.json" || {
+  echo "FAIL: metrics.json missing build-cache counters" >&2
+  exit 1
+}
+
+echo "OK: build + tests + trace smoke all green"

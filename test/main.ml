@@ -12,6 +12,7 @@ let () =
       ("exec", Test_exec.suite);
       ("perfmon", Test_perfmon.suite);
       ("uarch", Test_uarch.suite);
+      ("obs", Test_obs.suite);
       ("buildsys", Test_buildsys.suite);
       ("propeller", Test_propeller.suite);
       ("prefetch", Test_prefetch.suite);

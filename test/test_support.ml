@@ -181,6 +181,25 @@ let test_stats () =
   check tf "p50" 2.0 (Support.Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
   check tb "geomean" true (abs_float (Support.Stats.geomean [ 1.0; 4.0 ] -. 2.0) < 1e-9)
 
+let test_stats_stddev () =
+  check tf "empty" 0.0 (Support.Stats.stddev []);
+  check tf "constant" 0.0 (Support.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  (* Population stddev of {2,4,4,4,5,5,7,9} is exactly 2. *)
+  check tf "known" 2.0 (Support.Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  check tb "shift invariant" true
+    (abs_float
+       (Support.Stats.stddev [ 1.0; 2.0; 3.0 ]
+       -. Support.Stats.stddev [ 101.0; 102.0; 103.0 ])
+    < 1e-9)
+
+let test_stats_median () =
+  check tf "empty" 0.0 (Support.Stats.median []);
+  check tf "singleton" 7.0 (Support.Stats.median [ 7.0 ]);
+  check tf "odd unsorted" 2.0 (Support.Stats.median [ 3.0; 1.0; 2.0 ]);
+  check tf "even midpoint" 2.5 (Support.Stats.median [ 4.0; 1.0; 3.0; 2.0 ]);
+  (* Median is robust to one huge outlier; mean is not. *)
+  check tf "outlier robust" 2.0 (Support.Stats.median [ 1.0; 2.0; 1.0e9 ])
+
 let suite =
   [
     Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
@@ -202,4 +221,6 @@ let suite =
     Alcotest.test_case "digest: distinct" `Quick test_digest_distinct;
     Alcotest.test_case "digest: concat order" `Quick test_digest_concat_order;
     Alcotest.test_case "stats: basics" `Quick test_stats;
+    Alcotest.test_case "stats: stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats: median" `Quick test_stats_median;
   ]
