@@ -312,9 +312,9 @@ let fig9 () =
       ~link_options:ld
   in
   Report.print_note
-    "\nCache ablation (clang): Phase 4 wall %s with warm cache vs %s with cold cache\n"
-    (Report.seconds wb.prop.optimized_build.wall_seconds)
-    (Report.seconds cold.wall_seconds)
+    (Printf.sprintf "\nCache ablation (clang): Phase 4 wall %s with warm cache vs %s with cold cache\n"
+       (Report.seconds wb.prop.optimized_build.wall_seconds)
+       (Report.seconds cold.wall_seconds))
 
 (* ------------------------------------------------------------------ *)
 (* SPEC 2017 sweep (5.4).                                               *)
@@ -479,9 +479,9 @@ let ablation_prefetch () =
   let s1, c1 = measure pf in
   (match pf.prefetch with
   | Some p ->
-    Report.print_note "directives: %d insertion sites covering %d/%d sampled misses
-"
-      (List.length p.sites) p.covered_misses p.sampled_misses
+    Report.print_note
+      (Printf.sprintf "directives: %d insertion sites covering %d/%d sampled misses\n"
+         (List.length p.sites) p.covered_misses p.sampled_misses)
   | None -> ());
   let row label (s : Exec.Interp.stats) (c : Uarch.Core.counters) =
     [
@@ -578,10 +578,13 @@ let ablation_inter () =
   in
   Report.print_table ~header:[ "Mode"; "cycles"; "L1i miss"; "iTLB miss"; "taken br" ]
     [ row "intra" ci; row "inter" cx ];
-  Report.print_note "inter vs intra speedup: %s; analysis time: intra %.2fs, inter %.2fs (%.1fx)\n"
-    (Report.pct ((ci.cycles -. cx.cycles) /. ci.cycles *. 100.0))
-    (t1 -. t0) (t2 -. t1)
-    ((t2 -. t1) /. max 1e-9 (t1 -. t0))
+  Report.kv
+    [
+      ("inter vs intra speedup", Report.pct ((ci.cycles -. cx.cycles) /. ci.cycles *. 100.0));
+      ("analysis time (intra)", Printf.sprintf "%.2fs" (t1 -. t0));
+      ( "analysis time (inter)",
+        Printf.sprintf "%.2fs (%.1fx)" (t2 -. t1) ((t2 -. t1) /. max 1e-9 (t1 -. t0)) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation 4.1: cluster sections vs one section per block.             *)

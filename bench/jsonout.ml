@@ -1,0 +1,102 @@
+(* Machine-readable bench output: one BENCH_*.json per run, stable
+   schema (EXPERIMENTS.md "Bench JSON schema"), so successive PRs
+   accumulate a perf trajectory and `propeller_stat diff` can gate
+   regressions in CI. Everything here is a function of the simulated
+   run: same seeds, byte-identical file. *)
+
+let schema_version = 1
+
+let counters_json (c : Uarch.Core.counters) =
+  Obs.Json.Obj
+    (List.map (fun (k, v) -> (k, Obs.Json.Int v)) (Uarch.Core.counters_assoc c)
+    @ [ ("cycles", Obs.Json.Float c.cycles) ])
+
+let benchmark_json (spec : Progen.Spec.t) =
+  let wb = Workbench.get spec in
+  let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
+  let bolt_ok = wb.bolt.Boltsim.Driver.startup_ok in
+  let bolt_pct = if bolt_ok then Some (Workbench.improvement_pct wb Workbench.Bolt) else None in
+  let base = (Workbench.measure wb Workbench.Base).counters in
+  let prop = (Workbench.measure wb Workbench.Prop).counters in
+  let report =
+    Diagnostics.Report.analyze ~name:spec.name ~counters:(base, prop) ~result:wb.prop ()
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.String spec.name);
+        ("seed", Obs.Json.Int (Int64.to_int spec.seed));
+        ("scale", Obs.Json.Int spec.scale);
+        ("requests", Obs.Json.Int spec.requests);
+        ("metric", Obs.Json.String (Workbench.metric_name spec));
+        ( "speedup_pct",
+          Obs.Json.Obj
+            [
+              ("propeller", Obs.Json.Float prop_pct);
+              ( "bolt",
+                match bolt_pct with Some p -> Obs.Json.Float p | None -> Obs.Json.Null );
+            ] );
+        ("bolt_startup_ok", Obs.Json.Bool bolt_ok);
+        ("diagnostics", Diagnostics.Report.to_json report);
+        ( "counters",
+          Obs.Json.Obj
+            [ ("base", counters_json base); ("propeller", counters_json prop) ] );
+      ]
+  in
+  (json, prop_pct, bolt_pct)
+
+(* Geomean of speedups via ratios: +x% -> 1+x/100, so mixed-sign lists
+   stay meaningful. *)
+let geomean_pct pcts =
+  match pcts with
+  | [] -> None
+  | _ ->
+    let ratios = List.map (fun p -> 1.0 +. (p /. 100.0)) pcts in
+    Some ((Support.Stats.geomean ratios -. 1.0) *. 100.0)
+
+let emit ~file ~specs ~requests =
+  let specs =
+    match requests with
+    | None -> specs
+    | Some r -> List.map (fun (s : Progen.Spec.t) -> { s with Progen.Spec.requests = r }) specs
+  in
+  let rows = List.map benchmark_json specs in
+  let prop_pcts = List.map (fun (_, p, _) -> p) rows in
+  let bolt_pcts = List.filter_map (fun (_, _, b) -> b) rows in
+  let opt_float = function Some f -> Obs.Json.Float f | None -> Obs.Json.Null in
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int schema_version);
+        ("tool", Obs.Json.String "propeller-bench");
+        ( "config",
+          Obs.Json.Obj
+            [
+              ( "benchmarks",
+                Obs.Json.List
+                  (List.map (fun (s : Progen.Spec.t) -> Obs.Json.String s.name) specs) );
+              ( "requests_override",
+                match requests with Some r -> Obs.Json.Int r | None -> Obs.Json.Null );
+            ] );
+        ("benchmarks", Obs.Json.List (List.map (fun (j, _, _) -> j) rows));
+        ( "summary",
+          Obs.Json.Obj
+            [
+              ("num_benchmarks", Obs.Json.Int (List.length specs));
+              ("geomean_speedup_propeller", opt_float (geomean_pct prop_pcts));
+              ("geomean_speedup_bolt", opt_float (geomean_pct bolt_pcts));
+              ("bolt_crashes", Obs.Json.Int (List.length specs - List.length bolt_pcts));
+            ] );
+      ]
+  in
+  let contents = Obs.Json.to_string json in
+  (* Round-trip through our own parser before writing, like the trace
+     exporter does: a bench file CI cannot re-read is worse than none. *)
+  (match Obs.Json.parse contents with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "Jsonout.emit: emitted invalid JSON: %s" e));
+  let oc = open_out file in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench json: %d benchmark(s) -> %s\n%!" (List.length specs) file

@@ -1,10 +1,20 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md 3 for the experiment index).
 
-   Usage: main.exe [experiment ...]
+   Usage: main.exe [options] [experiment ...]
    Experiments: table2 table3 table5 fig4 fig5 fig6 fig7 fig8 fig9 spec
                 ablation_split ablation_inter ablation_clusters micro
-                quick all (default: all) *)
+                quick all (default: all)
+
+   Options:
+     --json-out FILE       also write a machine-readable BENCH_*.json
+                           (schema in EXPERIMENTS.md); when no
+                           experiments are named, only the JSON is
+                           produced
+     --json-bench A,B,...  benchmarks to include in the JSON
+                           (default: 505.mcf)
+     --json-requests N     workload-requests override for the JSON
+                           benchmarks (keeps CI runs fast) *)
 
 let experiments =
   [
@@ -47,10 +57,67 @@ let run_one name =
       exit 2
     end
 
+type options = {
+  mutable json_out : string option;
+  mutable json_bench : string list;
+  mutable json_requests : int option;
+  mutable names : string list;  (* experiments, in order *)
+}
+
+let usage_exit () =
+  Printf.eprintf
+    "usage: main.exe [--json-out FILE] [--json-bench A,B] [--json-requests N] [experiment ...]\n";
+  exit 2
+
+let parse_args argv =
+  let o = { json_out = None; json_bench = [ "505.mcf" ]; json_requests = None; names = [] } in
+  let rec go = function
+    | [] -> o
+    | "--json-out" :: file :: rest ->
+      o.json_out <- Some file;
+      go rest
+    | "--json-bench" :: names :: rest ->
+      o.json_bench <- String.split_on_char ',' names;
+      go rest
+    | "--json-requests" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> o.json_requests <- Some n
+      | _ ->
+        Printf.eprintf "--json-requests: positive integer expected, got %S\n" n;
+        exit 2);
+      go rest
+    | ("--json-out" | "--json-bench" | "--json-requests") :: [] -> usage_exit ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage_exit ()
+    | name :: rest ->
+      o.names <- o.names @ [ name ];
+      go rest
+  in
+  go (List.tl (Array.to_list argv))
+
+let emit_json o file =
+  let specs =
+    List.map
+      (fun name ->
+        match Progen.Suite.by_name name with
+        | Some s -> s
+        | None ->
+          Printf.eprintf "--json-bench: unknown benchmark %S\n" name;
+          exit 2)
+      o.json_bench
+  in
+  Jsonout.emit ~file ~specs ~requests:o.json_requests
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = if args = [] || args = [ "all" ] then List.map fst experiments else args in
+  let o = parse_args Sys.argv in
+  let names =
+    match (o.names, o.json_out) with
+    | [], Some _ -> []  (* JSON-only run *)
+    | [], None | [ "all" ], _ -> List.map fst experiments
+    | names, _ -> names
+  in
   Printf.printf "Propeller reproduction bench (deterministic; seeds fixed)\n%!";
   let t0 = Unix.gettimeofday () in
-  List.iter run_one args;
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  List.iter run_one names;
+  Option.iter (emit_json o) o.json_out;
+  if names <> [] then
+    Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -5,7 +5,18 @@ let hr width = String.make width '-'
 let print_title title =
   Printf.printf "\n%s\n%s\n" title (hr (String.length title))
 
-let print_note fmt = Printf.printf fmt
+(* Notes are plain strings, not format strings: callers compose with
+   [Printf.sprintf] so a '%' in a note (e.g. "5.8%") can never crash the
+   renderer at run time. *)
+let print_note s = print_string s
+
+(* Aligned key/value notes: [kv [("profile", "LBR"); ...]] renders each
+   pair as "  key .....: value" with keys padded to a shared width. *)
+let kv pairs =
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter
+    (fun (k, v) -> Printf.printf "  %s%s: %s\n" k (String.make (width - String.length k) ' ') v)
+    pairs
 
 (* Render rows of fixed-width columns; widths derived from content. *)
 let print_table ~header rows =

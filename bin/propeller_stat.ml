@@ -1,0 +1,169 @@
+(* propeller_stat: profile-quality + layout-quality diagnostics.
+
+   Default command — run the pipeline on a benchmark and judge it:
+     dune exec bin/propeller_stat.exe -- -b 505.mcf --json
+
+   Diff two bench JSON files (exit 1 on regression):
+     dune exec bin/propeller_stat.exe -- diff baseline.json current.json *)
+
+open Cmdliner
+
+let log2i v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+(* Pressure-preserving measurement, as the bench harness does: TLB pages
+   shrink with the program's generation scale (DESIGN.md 6). *)
+let measure ~(spec : Progen.Spec.t) ~recorder ~run_name program binary =
+  let image = Exec.Image.build program binary in
+  let core =
+    Uarch.Core.create
+      {
+        Uarch.Core.default_config with
+        hugepages = spec.hugepages;
+        page_scale_bits = log2i spec.scale;
+      }
+  in
+  let (_ : Exec.Interp.stats) =
+    Exec.Interp.run image
+      { Exec.Interp.default_config with requests = spec.requests }
+      (Uarch.Core.sink core)
+  in
+  Uarch.Core.publish ~recorder ~name:run_name core;
+  Uarch.Core.counters core
+
+let write_file file contents =
+  match open_out file with
+  | oc ->
+    output_string oc contents;
+    close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" file msg;
+    exit 1
+
+let run_stat benchmark requests json out =
+  match Progen.Suite.by_name benchmark with
+  | None ->
+    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
+      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
+    exit 2
+  | Some spec ->
+    let spec =
+      match requests with Some r -> { spec with Progen.Spec.requests = r } | None -> spec
+    in
+    if not json then Printf.printf "running pipeline on %s...\n%!" spec.name;
+    let program = Progen.Generate.program spec in
+    let env = Buildsys.Driver.make_env () in
+    let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
+    let config =
+      {
+        Propeller.Pipeline.default_config with
+        profile_run = { Exec.Interp.default_config with requests = spec.requests };
+        hugepages = spec.hugepages;
+      }
+    in
+    let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+    let recorder = env.Buildsys.Driver.recorder in
+    let cb = measure ~spec ~recorder ~run_name:"base" program base.binary in
+    let cp =
+      measure ~spec ~recorder ~run_name:"propeller" program
+        (Propeller.Pipeline.optimized_binary result)
+    in
+    let report = Diagnostics.Report.analyze ~name:spec.name ~counters:(cb, cp) ~result () in
+    Diagnostics.Report.publish ~recorder report;
+    let rendered =
+      if json then Obs.Json.to_string (Diagnostics.Report.to_json report) ^ "\n"
+      else Diagnostics.Report.to_text report
+    in
+    (match out with
+    | Some file ->
+      write_file file rendered;
+      Printf.printf "diagnostics: %s\n" file
+    | None -> print_string rendered)
+
+let read_json label file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot read %s %s: %s\n" label file msg;
+    exit 2
+  | contents -> (
+    match Obs.Json.parse contents with
+    | Ok v -> v
+    | Error e ->
+      Printf.eprintf "%s %s: invalid JSON: %s\n" label file e;
+      exit 2)
+
+let run_diff baseline_file current_file threshold quiet =
+  let baseline = read_json "baseline" baseline_file in
+  let current = read_json "current" current_file in
+  match Diagnostics.Compare.compare ~threshold_pct:threshold ~baseline ~current () with
+  | Error e ->
+    Printf.eprintf "diff error: %s\n" e;
+    exit 2
+  | Ok outcome ->
+    if not quiet then print_string (Diagnostics.Compare.render outcome);
+    let regs = Diagnostics.Compare.regressions outcome in
+    if Diagnostics.Compare.ok outcome then
+      Printf.printf "OK: %d judged metrics within %.1f%% of baseline\n"
+        (List.length outcome.Diagnostics.Compare.verdicts)
+        threshold
+    else begin
+      Printf.printf "FAIL: %d regression(s), %d missing metric(s) (threshold %.1f%%)\n"
+        (List.length regs)
+        (List.length outcome.Diagnostics.Compare.missing)
+        threshold;
+      exit 1
+    end
+
+let benchmark =
+  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
+
+let requests =
+  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
+
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
+
+let run_term = Term.(const run_stat $ benchmark $ requests $ json $ out)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the pipeline on one benchmark and report profile/layout diagnostics.")
+    run_term
+
+let baseline_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+
+let current_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc:"Current bench JSON.")
+
+let threshold =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "t"; "threshold" ] ~docv:"PCT"
+        ~doc:"Regression threshold in percent (relative, floored at 1.0 absolute).")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the final verdict.")
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Diff two bench JSON files; exit 1 when a judged metric regresses past the threshold \
+          or goes missing.")
+    Term.(const run_diff $ baseline_arg $ current_arg $ threshold $ quiet)
+
+let cmd =
+  Cmd.group ~default:run_term
+    (Cmd.info "propeller_stat"
+       ~doc:"Profile-quality diagnostics and bench regression comparison")
+    [ run_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval cmd)

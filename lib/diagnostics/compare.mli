@@ -1,0 +1,57 @@
+(** Bench-trajectory comparison: diff two BENCH_*.json files (see
+    EXPERIMENTS.md for the schema) and flag regressions.
+
+    Both files are flattened to [path -> number] maps — benchmark array
+    entries are keyed by their ["name"] field, so
+    [benchmarks.505.mcf.speedup_pct.propeller] is stable across
+    reorderings. Only the *judged* metrics (a fixed allowlist of path
+    suffixes with a better-direction each) enter the verdict; raw
+    counters travel in the file for humans but never fail a build.
+
+    A judged metric present in the baseline but absent from the current
+    file is reported in [missing] and fails {!ok} — schema erosion is a
+    regression too. *)
+
+type direction = Higher | Lower  (** Which way is better. *)
+
+type verdict = {
+  metric : string;  (** Flattened path. *)
+  baseline : float;
+  current : float;
+  delta_pct : float;
+      (** Relative change in percent; computed against
+          [max |baseline| 1.0] so near-zero baselines degrade to
+          absolute deltas instead of exploding. *)
+  direction : direction;
+  regressed : bool;  (** Moved the wrong way past the threshold. *)
+  improved : bool;  (** Moved the right way past the threshold. *)
+}
+
+type outcome = {
+  verdicts : verdict list;  (** Judged metrics present in both files. *)
+  missing : string list;  (** Judged metrics the current file lost. *)
+}
+
+(** The allowlist of judged metrics: (path suffix, better direction). *)
+val judged : (string * direction) list
+
+(** [compare ?threshold_pct ~baseline ~current] diffs two parsed bench
+    JSON trees. Errors on schema_version mismatch or non-object input.
+    [threshold_pct] defaults to 5.0. *)
+val compare :
+  ?threshold_pct:float ->
+  baseline:Obs.Json.t ->
+  current:Obs.Json.t ->
+  unit ->
+  (outcome, string) result
+
+(** [regressions o] is the subset of verdicts that regressed. *)
+val regressions : outcome -> verdict list
+
+(** [ok o] is true when nothing regressed and nothing judged went
+    missing — the comparator's exit-code predicate. *)
+val ok : outcome -> bool
+
+(** [render o] is a plain-text report (one line per judged metric,
+    regressions marked). *)
+val render : outcome -> string

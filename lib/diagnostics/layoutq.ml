@@ -1,0 +1,101 @@
+type t = {
+  exttsp_score : float;
+  exttsp_norm : float;
+  edge_weight : int;
+  fall_through_weight : int;
+  fall_through_rate : float;
+  hot_funcs_scored : int;
+  blocks_missing : int;
+}
+
+(* Score one hot function: nodes are its sampled blocks that the final
+   binary placed, ordered by final address; sizes are final (relaxed)
+   sizes; edges are the profiled intra-function transfers. Returns
+   (score, edge_weight, fall_through_weight, missing_blocks,
+   placed_blocks). *)
+let score_func params (final : Linker.Binary.t) (d : Propeller.Dcfg.dfunc) =
+  let placed = ref [] in
+  let missing = ref 0 in
+  Hashtbl.iter
+    (fun bb (_ : Propeller.Dcfg.mblock) ->
+      match Linker.Binary.block_info final ~func:d.dname ~block:bb with
+      | Some info -> placed := (bb, info) :: !placed
+      | None -> incr missing)
+    d.dblocks;
+  let placed =
+    List.sort
+      (fun (_, (a : Linker.Binary.block_info)) (_, (b : Linker.Binary.block_info)) ->
+        compare a.addr b.addr)
+      !placed
+  in
+  match placed with
+  | [] -> (0.0, 0, 0, !missing, 0)
+  | _ ->
+    let n = List.length placed in
+    let index = Hashtbl.create n in
+    List.iteri (fun i (bb, _) -> Hashtbl.replace index bb i) placed;
+    let sizes = Array.make n 0 in
+    let addr_of = Array.make n 0 in
+    List.iteri
+      (fun i (_, (info : Linker.Binary.block_info)) ->
+        sizes.(i) <- info.size;
+        addr_of.(i) <- info.addr)
+      placed;
+    let edges = ref [] in
+    let edge_weight = ref 0 in
+    let fall_through = ref 0 in
+    Hashtbl.iter
+      (fun (src_bb, dst_bb) cnt ->
+        if src_bb <> dst_bb then
+          match (Hashtbl.find_opt index src_bb, Hashtbl.find_opt index dst_bb) with
+          | Some s, Some dst ->
+            edges := (s, dst, float_of_int !cnt) :: !edges;
+            edge_weight := !edge_weight + !cnt;
+            if addr_of.(dst) = addr_of.(s) + sizes.(s) then
+              fall_through := !fall_through + !cnt
+          | None, _ | _, None -> ())
+      d.dedges;
+    (* Deterministic scoring input: dedges iteration order is arbitrary. *)
+    let edges = List.sort compare !edges in
+    let order = List.init n Fun.id in
+    let score = Layout.Exttsp.score ~params ~sizes ~edges ~order () in
+    (score, !edge_weight, !fall_through, !missing, n)
+
+let analyze ?(params = Layout.Exttsp.default_params) ~(dcfg : Propeller.Dcfg.t)
+    ~(final : Linker.Binary.t) () =
+  let score = ref 0.0 in
+  let edge_weight = ref 0 in
+  let fall_through = ref 0 in
+  let missing = ref 0 in
+  let scored = ref 0 in
+  List.iter
+    (fun d ->
+      let s, w, ft, m, placed = score_func params final d in
+      if placed > 0 then incr scored;
+      score := !score +. s;
+      edge_weight := !edge_weight + w;
+      fall_through := !fall_through + ft;
+      missing := !missing + m)
+    (Propeller.Dcfg.hot_funcs dcfg);
+  let fw = float_of_int !edge_weight in
+  {
+    exttsp_score = !score;
+    exttsp_norm = (if fw > 0.0 then !score /. fw else 0.0);
+    edge_weight = !edge_weight;
+    fall_through_weight = !fall_through;
+    fall_through_rate = (if fw > 0.0 then float_of_int !fall_through /. fw else 0.0);
+    hot_funcs_scored = !scored;
+    blocks_missing = !missing;
+  }
+
+let to_json l =
+  Obs.Json.Obj
+    [
+      ("exttsp_score", Obs.Json.Float l.exttsp_score);
+      ("exttsp_norm", Obs.Json.Float l.exttsp_norm);
+      ("edge_weight", Obs.Json.Int l.edge_weight);
+      ("fall_through_weight", Obs.Json.Int l.fall_through_weight);
+      ("fall_through_rate", Obs.Json.Float l.fall_through_rate);
+      ("hot_funcs_scored", Obs.Json.Int l.hot_funcs_scored);
+      ("blocks_missing", Obs.Json.Int l.blocks_missing);
+    ]

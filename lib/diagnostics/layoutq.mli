@@ -1,0 +1,37 @@
+(** Layout-quality scores of a *final* (linked, post-relaxation) binary
+    against the sampled dynamic CFG.
+
+    Where {!Propeller.Wpa} reports the Ext-TSP objective its own layout
+    *aimed for* (on metadata-binary block sizes), this module scores the
+    layout the linker actually *produced*: per hot function, the block
+    order induced by final virtual addresses is evaluated with
+    {!Layout.Exttsp.score} over the profiled edges, using final
+    (relaxed) block sizes. The normalized score and the weighted
+    fall-through rate are comparable across programs and PRs; the raw
+    score is not (it scales with sample mass). *)
+
+type t = {
+  exttsp_score : float;  (** Sum of per-hot-function Ext-TSP scores. *)
+  exttsp_norm : float;
+      (** exttsp_score / total profiled edge weight, in
+          [0, fallthrough_weight]. *)
+  edge_weight : int;  (** Total intra-function profiled edge weight. *)
+  fall_through_weight : int;
+      (** ... of which lands on a block placed immediately after its
+          source (an achieved fall-through). *)
+  fall_through_rate : float;  (** fall_through_weight / edge_weight. *)
+  hot_funcs_scored : int;  (** Hot functions found in the final binary. *)
+  blocks_missing : int;
+      (** Sampled blocks with no placement in the final binary (0 for a
+          healthy build). *)
+}
+
+(** [analyze ?params ~dcfg ~final ()] scores [final]'s layout against
+    the profile aggregated in [dcfg]. [params] defaults to
+    {!Layout.Exttsp.default_params} (the scoring half only; no ordering
+    runs). Edges whose endpoints were never placed are dropped and
+    surface in [blocks_missing]. *)
+val analyze :
+  ?params:Layout.Exttsp.params -> dcfg:Propeller.Dcfg.t -> final:Linker.Binary.t -> unit -> t
+
+val to_json : t -> Obs.Json.t

@@ -1,0 +1,51 @@
+(** Profile-quality metrics: is this LBR profile trustworthy?
+
+    The paper's premise (and BOLT's experience) is that layout payoff is
+    bounded by profile coverage and freshness. Three judgements are
+    computed from the aggregated LBR profile against the metadata
+    binary's block map (via the reconstructed {!Propeller.Dcfg}):
+
+    - {b coverage} — how much of the mapped code received samples, by
+      block, by byte and by function. Low coverage means the load test
+      exercised little of the binary and the layout is trained on a
+      sliver.
+    - {b mismatch rate} — the weighted fraction of taken-branch records
+      whose endpoints do not map to any block of the binary. A profile
+      collected against the binary it is applied to mismatches ~never;
+      a stale profile (different binary version or layout) mismatches
+      heavily. This is the stale-profile detector.
+    - {b hot-path concentration} — the fraction of sampled blocks needed
+      to cover 90% of the sample mass. Warehouse workloads concentrate
+      (small is typical); a flat profile suggests sampling noise or an
+      untrained workload. *)
+
+type t = {
+  total_samples : int;  (** LBR sample events taken. *)
+  total_records : int;  (** Branch records across all samples. *)
+  mapped_blocks : int;  (** Blocks described by the address map. *)
+  sampled_blocks : int;  (** ... of which received >= 1 sample. *)
+  block_coverage : float;  (** sampled_blocks / mapped_blocks. *)
+  byte_coverage : float;  (** Sampled code bytes / mapped code bytes. *)
+  func_coverage : float;  (** Functions with samples / mapped functions. *)
+  mismatch_records : int;  (** Weighted records with unmappable endpoints. *)
+  mismatch_rate : float;  (** mismatch_records / total branch records. *)
+  concentration_p90 : float;
+      (** Fraction of sampled blocks covering 90% of sample mass. *)
+  pebs_samples : int;  (** Data-miss samples, when PEBS ran. *)
+}
+
+(** [analyze ?pebs ~dcfg ~profile ()] judges [profile] against the
+    binary whose block map produced [dcfg] (build it with
+    {!Propeller.Dcfg.build} on the metadata binary). The mismatch rate
+    is computed from the raw profile records, not the DCFG, so stale
+    records that the DCFG silently dropped are still counted. *)
+val analyze :
+  ?pebs:Perfmon.Pebs.profile ->
+  dcfg:Propeller.Dcfg.t ->
+  profile:Perfmon.Lbr.profile ->
+  unit ->
+  t
+
+(** [to_json q] is a stable-field-order JSON object (schema documented
+    in EXPERIMENTS.md). *)
+val to_json : t -> Obs.Json.t

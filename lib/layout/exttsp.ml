@@ -85,6 +85,12 @@ let score ?(params = default_params) ~sizes ~edges ~order () =
   let scratch = make_scratch (Array.length sizes) in
   score_arrangement params scratch sizes arr (dedupe_edges edges)
 
+let score_norm ?(params = default_params) ~sizes ~edges ~order () =
+  let total =
+    List.fold_left (fun acc (src, dst, w) -> if src <> dst then acc +. w else acc) 0.0 edges
+  in
+  if total <= 0.0 then 0.0 else score ~params ~sizes ~edges ~order () /. total
+
 (* Evaluate the best way to merge chains [a] and [b]. Returns
    (gain, merged node array, merged score) for the best arrangement that
    keeps [entry] first when present, or None if no arrangement is valid

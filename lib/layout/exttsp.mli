@@ -53,6 +53,14 @@ val order :
 val score :
   ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
 
+(** [score_norm ...] is {!score} divided by the total (non-self) edge
+    weight — a layout-quality figure in [0, fallthrough_weight] that is
+    comparable across programs of different sizes and sample counts.
+    1.0 means every observed transfer is a rewarded fall-through; 0 when
+    no edges carry weight. *)
+val score_norm :
+  ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
+
 (** Number of chain merges performed by the last {!order} call on this
     domain; exposed for the benches' work accounting. *)
 val last_merge_count : unit -> int

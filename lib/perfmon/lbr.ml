@@ -62,6 +62,12 @@ let raw_bytes config profile = profile.num_samples * ((24 * config.buffer_depth)
 
 let distinct_edges profile = Hashtbl.length profile.branches + Hashtbl.length profile.ranges
 
+let table_total tbl = Hashtbl.fold (fun _ n acc -> acc + n) tbl 0
+
+let branch_total profile = table_total profile.branches
+
+let range_total profile = table_total profile.ranges
+
 let merge a b =
   Hashtbl.iter
     (fun k v ->

@@ -41,6 +41,13 @@ val raw_bytes : config -> profile -> int
     for profile conversion). *)
 val distinct_edges : profile -> int
 
+(** [branch_total p] sums the counts of all aggregated taken-branch
+    records (the denominator of profile-mismatch rates). *)
+val branch_total : profile -> int
+
+(** [range_total p] sums the counts of all sequential-range records. *)
+val range_total : profile -> int
+
 (** [merge a b] accumulates profile [b] into [a] (multi-shard collection,
     as production profiles arrive from many machines). *)
 val merge : profile -> profile -> unit

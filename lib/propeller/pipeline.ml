@@ -76,9 +76,18 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
   in
   let metadata_build =
     Obs.Recorder.with_span rec_ "phase:metadata_build" @@ fun () ->
-    Buildsys.Driver.build env
-      ~name:(Printf.sprintf "%s.pm%d" name round)
-      ~program ~codegen_options:cg_meta ~link_options:ld_meta
+    let b =
+      Buildsys.Driver.build env
+        ~name:(Printf.sprintf "%s.pm%d" name round)
+        ~program ~codegen_options:cg_meta ~link_options:ld_meta
+    in
+    Obs.Recorder.span_args rec_
+      [
+        ("text_bytes", Obs.Trace.Int (Linker.Binary.text_bytes b.binary));
+        ("cache_hits", Obs.Trace.Int b.cache_hits);
+        ("cache_misses", Obs.Trace.Int b.cache_misses);
+      ];
+    b
   in
   (* Phase 3: profile the metadata binary under load. LBR drives the
      layout; PEBS miss samples drive prefetch insertion when enabled. *)
@@ -96,6 +105,17 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
     Obs.Recorder.advance rec_ profiling_window_seconds;
     Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_samples"
       profile.Perfmon.Lbr.num_samples;
+    Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_records"
+      profile.Perfmon.Lbr.num_records;
+    Obs.Recorder.set_gauge rec_ "pipeline.profile.distinct_edges"
+      (float_of_int (Perfmon.Lbr.distinct_edges profile));
+    Obs.Recorder.span_args rec_
+      [
+        ("lbr_samples", Obs.Trace.Int profile.Perfmon.Lbr.num_samples);
+        ("lbr_records", Obs.Trace.Int profile.Perfmon.Lbr.num_records);
+        ("distinct_edges", Obs.Trace.Int (Perfmon.Lbr.distinct_edges profile));
+        ("pebs_samples", Obs.Trace.Int pebs_profile.Perfmon.Pebs.num_samples);
+      ];
     (profile, pebs_profile)
   in
   let wpa, prefetch =
@@ -111,7 +131,13 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
       [
         ("plans", Obs.Trace.Int (List.length wpa.plans));
         ("peak_mem_bytes", Obs.Trace.Int wpa.peak_mem_bytes);
+        ("hot_funcs", Obs.Trace.Int wpa.hot_funcs);
+        ("dcfg_blocks", Obs.Trace.Int wpa.dcfg_blocks);
+        ("dcfg_edges", Obs.Trace.Int wpa.dcfg_edges);
+        ("layout_score", Obs.Trace.Float wpa.layout_score);
       ];
+    Obs.Recorder.set_gauge rec_ "pipeline.wpa.layout_score" wpa.layout_score;
+    Obs.Recorder.set_gauge rec_ "pipeline.wpa.hot_funcs" (float_of_int wpa.hot_funcs);
     (wpa, prefetch)
   in
   (* Phase 4: regenerate hot objects, reuse cold ones, relink. *)
@@ -123,9 +149,18 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
   in
   let optimized_build =
     Obs.Recorder.with_span rec_ "phase:optimized_build" @@ fun () ->
-    Buildsys.Driver.build env
-      ~name:(Printf.sprintf "%s.po%d" name round)
-      ~program ~codegen_options:cg_opt ~link_options:ld_opt
+    let b =
+      Buildsys.Driver.build env
+        ~name:(Printf.sprintf "%s.po%d" name round)
+        ~program ~codegen_options:cg_opt ~link_options:ld_opt
+    in
+    Obs.Recorder.span_args rec_
+      [
+        ("hot_objects", Obs.Trace.Int b.cache_misses);
+        ("total_objects", Obs.Trace.Int (List.length b.objs));
+        ("text_bytes", Obs.Trace.Int (Linker.Binary.text_bytes b.binary));
+      ];
+    b
   in
   {
     metadata_build;

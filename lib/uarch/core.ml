@@ -202,22 +202,27 @@ let reset t =
   c.dmisses <- 0;
   c.cycles <- 0.0
 
+let counters_assoc (c : counters) =
+  [
+    ("instructions", c.instructions);
+    ("fetch_events", c.fetch_events);
+    ("i1_l1i_miss", c.i1_l1i_miss);
+    ("i2_l2_code_miss", c.i2_l2_code_miss);
+    ("i3_l3_code_miss", c.i3_l3_code_miss);
+    ("t1_itlb_miss", c.t1_itlb_miss);
+    ("t2_itlb_stall_miss", c.t2_itlb_stall_miss);
+    ("b1_baclears", c.b1_baclears);
+    ("b2_taken_branches", c.b2_taken_branches);
+    ("dsb_misses", c.dsb_misses);
+    ("cond_branches", c.cond_branches);
+    ("dmisses", c.dmisses);
+  ]
+
 let publish ?recorder ~name t =
   let r = match recorder with Some r -> r | None -> Obs.Recorder.global in
   let c = t.c in
-  let set counter v =
-    Obs.Recorder.add_counter r (Printf.sprintf "uarch.%s.%s" name counter) v
-  in
-  set "instructions" c.instructions;
-  set "fetch_events" c.fetch_events;
-  set "i1_l1i_miss" c.i1_l1i_miss;
-  set "i2_l2_code_miss" c.i2_l2_code_miss;
-  set "i3_l3_code_miss" c.i3_l3_code_miss;
-  set "t1_itlb_miss" c.t1_itlb_miss;
-  set "t2_itlb_stall_miss" c.t2_itlb_stall_miss;
-  set "b1_baclears" c.b1_baclears;
-  set "b2_taken_branches" c.b2_taken_branches;
-  set "dsb_misses" c.dsb_misses;
-  set "cond_branches" c.cond_branches;
-  set "dmisses" c.dmisses;
+  List.iter
+    (fun (counter, v) ->
+      Obs.Recorder.add_counter r (Printf.sprintf "uarch.%s.%s" name counter) v)
+    (counters_assoc c);
   Obs.Recorder.set_gauge r (Printf.sprintf "uarch.%s.cycles" name) c.cycles

@@ -60,6 +60,12 @@ val cycles : t -> float
 (** [reset t] clears all structures and counters (fresh run). *)
 val reset : t -> unit
 
+(** [counters_assoc c] lists the integer event counters in a fixed,
+    documented order (exporters and the diagnostics layer iterate this
+    instead of hand-listing fields). [cycles] is not included: it is a
+    float gauge, not an event count. *)
+val counters_assoc : counters -> (string * int) list
+
 (** [publish ?recorder ~name t] records every counter into the
     recorder's metrics registry as ["uarch.<name>.<counter>"] (default
     recorder: {!Obs.Recorder.global}). [name] labels the run, e.g.

@@ -5,6 +5,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== repo hygiene =="
+# Build artifacts must never be tracked or staged.
+if git ls-files | grep -q '^_build/'; then
+  echo "FAIL: _build/ paths are tracked by git" >&2
+  git ls-files | grep '^_build/' | head >&2
+  exit 1
+fi
+if git status --porcelain | awk '{print $2}' | grep -q '^_build/'; then
+  echo "FAIL: _build/ paths are staged or modified in git status" >&2
+  exit 1
+fi
+
 echo "== dune build =="
 dune build
 
@@ -47,4 +59,19 @@ grep -q "buildsys.cache" "$out_dir/metrics.json" || {
   exit 1
 }
 
-echo "OK: build + tests + trace smoke all green"
+echo "== bench regression gate =="
+# Emit a fresh bench JSON for the small progen workload and diff it
+# against the committed golden baseline; >5% regression fails the check.
+dune exec bench/main.exe -- \
+  --json-out "$out_dir/bench.json" --json-bench 505.mcf --json-requests 40 \
+  >"$out_dir/bench.log" 2>&1 || {
+  echo "FAIL: bench --json-out run failed" >&2
+  cat "$out_dir/bench.log" >&2
+  exit 1
+}
+scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {
+  echo "FAIL: bench regression vs bench/baseline.json" >&2
+  exit 1
+}
+
+echo "OK: build + tests + trace smoke + bench gate all green"

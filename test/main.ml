@@ -17,6 +17,7 @@ let () =
       ("propeller", Test_propeller.suite);
       ("prefetch", Test_prefetch.suite);
       ("boltsim", Test_boltsim.suite);
+      ("diagnostics", Test_diagnostics.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
     ]

@@ -181,6 +181,20 @@ let test_stats () =
   check tf "p50" 2.0 (Support.Stats.percentile 50.0 [ 3.0; 1.0; 2.0 ]);
   check tb "geomean" true (abs_float (Support.Stats.geomean [ 1.0; 4.0 ] -. 2.0) < 1e-9)
 
+let test_stats_geomean () =
+  check tf "empty" 0.0 (Support.Stats.geomean []);
+  check tf "singleton" 3.0 (Support.Stats.geomean [ 3.0 ]);
+  check tb "known" true (abs_float (Support.Stats.geomean [ 2.0; 8.0 ] -. 4.0) < 1e-9);
+  check tb "three-way" true (abs_float (Support.Stats.geomean [ 1.0; 10.0; 100.0 ] -. 10.0) < 1e-9);
+  (* A zero (or negative) factor collapses the product: geomean is 0. *)
+  check tf "zero element" 0.0 (Support.Stats.geomean [ 0.0; 4.0; 9.0 ]);
+  check tf "negative element" 0.0 (Support.Stats.geomean [ -2.0; 4.0 ]);
+  (* Scale equivariance: geomean (k*xs) = k * geomean xs. *)
+  check tb "scale equivariant" true
+    (abs_float
+       (Support.Stats.geomean [ 3.0; 12.0 ] -. (3.0 *. Support.Stats.geomean [ 1.0; 4.0 ]))
+    < 1e-9)
+
 let test_stats_stddev () =
   check tf "empty" 0.0 (Support.Stats.stddev []);
   check tf "constant" 0.0 (Support.Stats.stddev [ 5.0; 5.0; 5.0 ]);
@@ -221,6 +235,7 @@ let suite =
     Alcotest.test_case "digest: distinct" `Quick test_digest_distinct;
     Alcotest.test_case "digest: concat order" `Quick test_digest_concat_order;
     Alcotest.test_case "stats: basics" `Quick test_stats;
+    Alcotest.test_case "stats: geomean" `Quick test_stats_geomean;
     Alcotest.test_case "stats: stddev" `Quick test_stats_stddev;
     Alcotest.test_case "stats: median" `Quick test_stats_median;
   ]
