@@ -4,7 +4,9 @@
    regressions in CI. Everything here is a function of the simulated
    run: same seeds, byte-identical file. *)
 
-let schema_version = 1
+(* v2: per-benchmark "size" object (hot/cold text, metadata and total
+   bytes of the base/pm/po images, from Inspect.Size). *)
+let schema_version = 2
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -21,6 +23,7 @@ let benchmark_json (spec : Progen.Spec.t) =
   let report =
     Diagnostics.Report.analyze ~name:spec.name ~counters:(base, prop) ~result:wb.prop ()
   in
+  let size_totals binary = Inspect.Size.totals_json (Inspect.Size.measure binary) in
   let json =
     Obs.Json.Obj
       [
@@ -38,6 +41,13 @@ let benchmark_json (spec : Progen.Spec.t) =
             ] );
         ("bolt_startup_ok", Obs.Json.Bool bolt_ok);
         ("diagnostics", Diagnostics.Report.to_json report);
+        ( "size",
+          Obs.Json.Obj
+            [
+              ("base", size_totals wb.base.Buildsys.Driver.binary);
+              ("pm", size_totals wb.prop.Propeller.Pipeline.metadata_build.Buildsys.Driver.binary);
+              ("po", size_totals (Propeller.Pipeline.optimized_binary wb.prop));
+            ] );
         ( "counters",
           Obs.Json.Obj
             [ ("base", counters_json base); ("propeller", counters_json prop) ] );

@@ -1,0 +1,217 @@
+type movement = {
+  blocks_a : int;
+  blocks_b : int;
+  common : int;
+  moved : int;
+  resized : int;
+  hot_to_cold : int;
+  cold_to_hot : int;
+  only_a : int;
+  only_b : int;
+}
+
+type bucket = { label : string; weight_a : int; weight_b : int }
+
+type t = {
+  name_a : string;
+  name_b : string;
+  movement : movement;
+  func_moves : (string * int) list;
+  buckets : bucket list;
+  branch_weight : int;
+  unmatched_weight : int;
+}
+
+(* Per-block layout facts of one image: rank within the function's
+   address-ordered block list, plus size and temperature. *)
+type fact = { rank : int; size : int; cold : bool }
+
+let facts_of (resolver : Resolve.t) =
+  let tbl : (string * int, fact) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      List.iteri
+        (fun rank (l : Resolve.location) ->
+          Hashtbl.replace tbl (f, l.block)
+            { rank; size = l.block_size; cold = l.fragment = Resolve.Cold })
+        (Resolve.blocks_of_func resolver f))
+    (Resolve.funcs resolver);
+  tbl
+
+let block_movement ra rb =
+  let fa = facts_of ra and fb = facts_of rb in
+  let moves : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let init =
+    {
+      blocks_a = Hashtbl.length fa;
+      blocks_b = Hashtbl.length fb;
+      common = 0;
+      moved = 0;
+      resized = 0;
+      hot_to_cold = 0;
+      cold_to_hot = 0;
+      only_a = 0;
+      only_b = 0;
+    }
+  in
+  let m =
+    Hashtbl.fold
+      (fun key (a : fact) m ->
+        match Hashtbl.find_opt fb key with
+        | None -> { m with only_a = m.only_a + 1 }
+        | Some b ->
+          let m = { m with common = m.common + 1 } in
+          let m = if a.rank <> b.rank then { m with moved = m.moved + 1 } else m in
+          (if a.rank <> b.rank then
+             let f = fst key in
+             match Hashtbl.find_opt moves f with
+             | Some r -> incr r
+             | None -> Hashtbl.replace moves f (ref 1));
+          let m = if a.size <> b.size then { m with resized = m.resized + 1 } else m in
+          if (not a.cold) && b.cold then { m with hot_to_cold = m.hot_to_cold + 1 }
+          else if a.cold && not b.cold then { m with cold_to_hot = m.cold_to_hot + 1 }
+          else m)
+      fa init
+  in
+  let m = { m with only_b = m.blocks_b - m.common } in
+  let func_moves =
+    Hashtbl.fold (fun f r acc -> (f, !r) :: acc) moves []
+    |> List.sort (fun (fa', na) (fb', nb) ->
+           match compare nb na with 0 -> String.compare fa' fb' | c -> c)
+  in
+  (m, func_moves)
+
+let bucket_labels = [ "adjacent"; "<=64B"; "<=4KB"; "<=64KB"; "<=2MB"; ">2MB" ]
+
+let bucket_index dist =
+  if dist = 0 then 0
+  else if dist <= 64 then 1
+  else if dist <= 4096 then 2
+  else if dist <= 65536 then 3
+  else if dist <= 2 * 1024 * 1024 then 4
+  else 5
+
+(* Distance a taken branch travels in image [bin]: from the source
+   block's end to the target block's start, both looked up by block
+   identity so the same branch is measurable in either layout. *)
+let distance_in bin ~src:(sf, sb) ~dst:(df, db) =
+  match
+    (Linker.Binary.block_info bin ~func:sf ~block:sb, Linker.Binary.block_info bin ~func:df ~block:db)
+  with
+  | Some s, Some d -> Some (abs (d.Linker.Binary.addr - (s.addr + s.size)))
+  | _ -> None
+
+let histograms ra (a : Linker.Binary.t) (b : Linker.Binary.t) (profile : Perfmon.Lbr.profile) =
+  let wa = Array.make 6 0 and wb = Array.make 6 0 in
+  let total = ref 0 and unmatched = ref 0 in
+  Hashtbl.iter
+    (fun (src, dst) cnt ->
+      total := !total + cnt;
+      match (Resolve.resolve ra (src - 1), Resolve.resolve ra dst) with
+      | Resolve.Code ls, Resolve.Code ld ->
+        let key_s = (ls.Resolve.func, ls.Resolve.block)
+        and key_d = (ld.Resolve.func, ld.Resolve.block) in
+        (match distance_in a ~src:key_s ~dst:key_d with
+        | Some d -> wa.(bucket_index d) <- wa.(bucket_index d) + cnt
+        | None -> ());
+        (match distance_in b ~src:key_s ~dst:key_d with
+        | Some d -> wb.(bucket_index d) <- wb.(bucket_index d) + cnt
+        | None -> unmatched := !unmatched + cnt)
+      | _ -> unmatched := !unmatched + cnt)
+    profile.Perfmon.Lbr.branches;
+  let buckets =
+    List.mapi (fun i label -> { label; weight_a = wa.(i); weight_b = wb.(i) }) bucket_labels
+  in
+  (buckets, !total, !unmatched)
+
+let compare ~(profile : Perfmon.Lbr.profile) (a : Linker.Binary.t) (b : Linker.Binary.t) =
+  let ra = Resolve.create a and rb = Resolve.create b in
+  let movement, func_moves = block_movement ra rb in
+  let buckets, branch_weight, unmatched_weight = histograms ra a b profile in
+  {
+    name_a = a.Linker.Binary.name;
+    name_b = b.Linker.Binary.name;
+    movement;
+    func_moves;
+    buckets;
+    branch_weight;
+    unmatched_weight;
+  }
+
+let to_text ?(top = 10) t =
+  let buf = Buffer.create 2048 in
+  let m = t.movement in
+  Printf.bprintf buf "diff %s -> %s\n\n" t.name_a t.name_b;
+  Printf.bprintf buf
+    "blocks: %d in A, %d in B, %d common (%d moved, %d resized, %d hot->cold, %d cold->hot), %d \
+     only in A, %d only in B\n\n"
+    m.blocks_a m.blocks_b m.common m.moved m.resized m.hot_to_cold m.cold_to_hot m.only_a m.only_b;
+  (if t.func_moves <> [] then begin
+     let rows =
+       List.filteri (fun i _ -> i < top) t.func_moves
+       |> List.map (fun (f, n) -> [ "  " ^ f; string_of_int n ])
+     in
+     Buffer.add_string buf (Render.table ~header:[ "  function"; "moved blocks" ] rows);
+     Buffer.add_char buf '\n'
+   end);
+  Printf.bprintf buf "hot-branch distance (%d samples, %d unmatched in B):\n" t.branch_weight
+    t.unmatched_weight;
+  let denom = max 1 t.branch_weight in
+  let rows =
+    List.map
+      (fun bk ->
+        [
+          "  " ^ bk.label;
+          string_of_int bk.weight_a;
+          Render.pct (float_of_int bk.weight_a /. float_of_int denom);
+          string_of_int bk.weight_b;
+          Render.pct (float_of_int bk.weight_b /. float_of_int denom);
+          Render.bar ~width:16 (float_of_int bk.weight_b /. float_of_int denom);
+        ])
+      t.buckets
+  in
+  Buffer.add_string buf
+    (Render.table ~header:[ "  distance"; "A"; "A%"; "B"; "B%"; "B heat" ] rows);
+  Buffer.contents buf
+
+let to_json t =
+  let m = t.movement in
+  Obs.Json.Obj
+    [
+      ("tool", Obs.Json.String "propeller_inspect");
+      ("view", Obs.Json.String "diff");
+      ("binary_a", Obs.Json.String t.name_a);
+      ("binary_b", Obs.Json.String t.name_b);
+      ( "movement",
+        Obs.Json.Obj
+          [
+            ("blocks_a", Obs.Json.Int m.blocks_a);
+            ("blocks_b", Obs.Json.Int m.blocks_b);
+            ("common", Obs.Json.Int m.common);
+            ("moved", Obs.Json.Int m.moved);
+            ("resized", Obs.Json.Int m.resized);
+            ("hot_to_cold", Obs.Json.Int m.hot_to_cold);
+            ("cold_to_hot", Obs.Json.Int m.cold_to_hot);
+            ("only_a", Obs.Json.Int m.only_a);
+            ("only_b", Obs.Json.Int m.only_b);
+          ] );
+      ( "func_moves",
+        Obs.Json.List
+          (List.map
+             (fun (f, n) ->
+               Obs.Json.Obj [ ("name", Obs.Json.String f); ("moved", Obs.Json.Int n) ])
+             t.func_moves) );
+      ("branch_weight", Obs.Json.Int t.branch_weight);
+      ("unmatched_weight", Obs.Json.Int t.unmatched_weight);
+      ( "distance_histogram",
+        Obs.Json.List
+          (List.map
+             (fun bk ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String bk.label);
+                   ("weight_a", Obs.Json.Int bk.weight_a);
+                   ("weight_b", Obs.Json.Int bk.weight_b);
+                 ])
+             t.buckets) );
+    ]

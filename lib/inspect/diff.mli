@@ -1,0 +1,59 @@
+(** Layout diff between two linked images of the same program.
+
+    Propeller's whole effect is block placement, so the interesting
+    delta between a baseline and an optimized link is not bytes changed
+    but {e where blocks went}:
+
+    - {b block movement} — blocks are matched by (function, block id)
+      identity. A matched block "moved" when its rank in the function's
+      final address order changed (absolute addresses always differ
+      between layouts, ranks only differ on reordering); temperature
+      transitions (primary/cluster -> [.cold] and back) are counted
+      separately, as are resizes (relaxation picked a different
+      encoding).
+    - {b hot-branch distance} — every taken branch of a profile
+      (collected on image A) is replayed against both layouts: the
+      byte distance from the source block's end to the target block's
+      start, weighted by sample count, bucketed adjacent / <=64B /
+      <=4KB / <=64KB / <=2MB / >2MB. A good layout shifts weight
+      toward the short buckets (paper §2: i-cache and iTLB locality).
+
+    Both views are deterministic for a fixed seed. *)
+
+type movement = {
+  blocks_a : int;
+  blocks_b : int;
+  common : int;
+  moved : int;  (** Rank within the function's address order changed. *)
+  resized : int;
+  hot_to_cold : int;  (** Primary/cluster fragment in A, [.cold] in B. *)
+  cold_to_hot : int;
+  only_a : int;
+  only_b : int;
+}
+
+type bucket = {
+  label : string;
+  weight_a : int;  (** Branch samples landing in this distance bucket on A. *)
+  weight_b : int;
+}
+
+type t = {
+  name_a : string;
+  name_b : string;
+  movement : movement;
+  func_moves : (string * int) list;
+      (** Functions with moved blocks, count-descending. *)
+  buckets : bucket list;  (** Fixed bucket order, near to far. *)
+  branch_weight : int;  (** Total samples replayed into the histogram. *)
+  unmatched_weight : int;
+      (** Samples whose source or target block has no match in B. *)
+}
+
+(** [compare ~profile a b] diffs image [b] against image [a]; [profile]
+    must have been collected on [a] (its addresses are resolved there). *)
+val compare : profile:Perfmon.Lbr.profile -> Linker.Binary.t -> Linker.Binary.t -> t
+
+val to_text : ?top:int -> t -> string
+
+val to_json : t -> Obs.Json.t

@@ -1,0 +1,128 @@
+type path = { pfunc : string; blocks : int list; weight : int }
+
+(* Residual out-edge adjacency for one function: src block id -> ordered
+   (dst, residual count) cells. Dst-ascending order makes the max-edge
+   scan deterministic regardless of hash order. *)
+let adjacency (d : Propeller.Dcfg.dfunc) =
+  let out : (int, (int * int ref) list ref) Hashtbl.t = Hashtbl.create 32 in
+  let edges =
+    Hashtbl.fold (fun (s, dst) r acc -> (s, dst, !r) :: acc) d.Propeller.Dcfg.dedges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (s, dst, n) ->
+      if n > 0 then begin
+        match Hashtbl.find_opt out s with
+        | Some cell -> cell := !cell @ [ (dst, ref n) ]
+        | None -> Hashtbl.replace out s (ref [ (dst, ref n) ])
+      end)
+    edges;
+  out
+
+let best_out out src =
+  match Hashtbl.find_opt out src with
+  | None -> None
+  | Some cell ->
+    List.fold_left
+      (fun acc (dst, r) ->
+        if !r <= 0 then acc
+        else begin
+          match acc with
+          | Some (_, best) when !best >= !r -> acc
+          | _ -> Some (dst, r)
+        end)
+      None !cell
+
+(* The heaviest residual edge overall decides where a decomposition
+   round starts when the entry block has drained. *)
+let heaviest_source out =
+  Hashtbl.fold
+    (fun src cell acc ->
+      List.fold_left
+        (fun acc (_, r) ->
+          if !r <= 0 then acc
+          else begin
+            match acc with
+            | Some (_, best) when best > !r || (best = !r && fst (Option.get acc) <= src) -> acc
+            | _ -> Some (src, !r)
+          end)
+        acc !cell)
+    out None
+
+let decompose ~max_paths ~max_len (d : Propeller.Dcfg.dfunc) =
+  let out = adjacency d in
+  let entry = 0 in
+  let paths = ref [] in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_paths do
+    incr rounds;
+    let start =
+      match best_out out entry with
+      | Some _ -> Some entry
+      | None -> Option.map fst (heaviest_source out)
+    in
+    match start with
+    | None -> continue := false
+    | Some start ->
+      let visited = Hashtbl.create 16 in
+      Hashtbl.replace visited start ();
+      let rec walk src acc_blocks acc_edges len =
+        if len >= max_len then (List.rev acc_blocks, acc_edges)
+        else begin
+          match best_out out src with
+          | None -> (List.rev acc_blocks, acc_edges)
+          | Some (dst, r) ->
+            if Hashtbl.mem visited dst then (List.rev acc_blocks, acc_edges)
+            else begin
+              Hashtbl.replace visited dst ();
+              walk dst (dst :: acc_blocks) (r :: acc_edges) (len + 1)
+            end
+        end
+      in
+      let blocks, edges = walk start [ start ] [] 1 in
+      (match edges with
+      | [] -> continue := false
+      | _ ->
+        let weight = List.fold_left (fun acc r -> min acc !r) max_int edges in
+        List.iter (fun r -> r := !r - weight) edges;
+        paths := { pfunc = d.Propeller.Dcfg.dname; blocks; weight } :: !paths)
+  done;
+  List.rev !paths
+
+let extract ?(max_paths_per_func = 10) ?(max_len = 64) (dcfg : Propeller.Dcfg.t) =
+  Propeller.Dcfg.hot_funcs dcfg
+  |> List.concat_map (decompose ~max_paths:max_paths_per_func ~max_len)
+  |> List.sort (fun a b ->
+         match compare b.weight a.weight with
+         | 0 -> (
+           match String.compare a.pfunc b.pfunc with 0 -> compare a.blocks b.blocks | c -> c)
+         | c -> c)
+
+let folded_frames p =
+  String.concat ";" (p.pfunc :: List.map (fun b -> "b" ^ string_of_int b) p.blocks)
+
+let to_folded paths =
+  let buf = Buffer.create 1024 in
+  List.iter (fun p -> Printf.bprintf buf "%s %d\n" (folded_frames p) p.weight) paths;
+  Buffer.contents buf
+
+let to_json paths =
+  Obs.Json.Obj
+    [
+      ("tool", Obs.Json.String "propeller_inspect");
+      ("view", Obs.Json.String "paths");
+      ("num_paths", Obs.Json.Int (List.length paths));
+      ( "paths",
+        Obs.Json.List
+          (List.map
+             (fun p ->
+               Obs.Json.Obj
+                 [
+                   ("func", Obs.Json.String p.pfunc);
+                   ("blocks", Obs.Json.List (List.map (fun b -> Obs.Json.Int b) p.blocks));
+                   ("weight", Obs.Json.Int p.weight);
+                   ("folded", Obs.Json.String (folded_frames p));
+                 ])
+             paths) );
+    ]

@@ -1,0 +1,29 @@
+(** Control-flow path reconstruction from LBR samples, as folded stacks.
+
+    The aggregated LBR profile is a weighted dynamic CFG, not a path
+    list; this view recovers representative hot paths by flow
+    decomposition: repeatedly peel the heaviest residual walk of each
+    function's sampled edges (entry-first, ties to the smallest block
+    id), subtracting each path's weight from the edges it used, until
+    the residual drains or a per-function path budget is hit.
+
+    Output is flamegraph.pl-compatible folded-stack lines —
+    [func;b<id>;b<id>;... weight] — heaviest first, deterministic for a
+    fixed seed. *)
+
+type path = {
+  pfunc : string;
+  blocks : int list;  (** Block ids along the path, in order. *)
+  weight : int;  (** Flow peeled off with this path. *)
+}
+
+(** [extract ?max_paths_per_func ?max_len dcfg] decomposes every sampled
+    function of [dcfg] (defaults: 10 paths per function, 64 blocks per
+    path). Paths are returned weight-descending, ties by function then
+    block sequence. *)
+val extract : ?max_paths_per_func:int -> ?max_len:int -> Propeller.Dcfg.t -> path list
+
+(** [to_folded paths] renders one folded-stack line per path. *)
+val to_folded : path list -> string
+
+val to_json : path list -> Obs.Json.t

@@ -1,0 +1,49 @@
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if i < cols then width.(i) <- max width.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let render_row r =
+    List.iteri
+      (fun i cell ->
+        let pad = width.(i) - String.length cell in
+        if i = 0 then begin
+          Buffer.add_string buf cell;
+          if i < cols - 1 then Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end;
+        if i < cols - 1 then Buffer.add_string buf "  ")
+      r;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  render_row (List.mapi (fun i _ -> String.make width.(i) '-') header);
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let bar ~width frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let n = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.make n '#'
+
+let pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let addr_hex a = Printf.sprintf "0x%x" a
+
+let bytes_exact n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Shared text rendering for the inspect views: right-aligned numeric
+    tables, heat bars, percentages. Pure string building — every view
+    stays printable without a terminal. *)
+
+(** [table ~header rows] renders an aligned table. The first column is
+    left-aligned, the rest right-aligned; [header] is underlined by
+    column width. *)
+val table : header:string list -> string list list -> string
+
+(** [bar ~width frac] is a [frac]-filled bar of '#' over [width] cells,
+    [frac] clamped to [0, 1]. *)
+val bar : width:int -> float -> string
+
+(** [pct f] formats a ratio as "12.3%". *)
+val pct : float -> string
+
+(** [addr_hex a] formats an address as "0x401000". *)
+val addr_hex : int -> string
+
+(** [bytes_exact n] formats a byte count with thousands separators,
+    e.g. "1,234,567". Exact — size views must reconcile to the byte. *)
+val bytes_exact : int -> string

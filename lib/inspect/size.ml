@@ -1,0 +1,212 @@
+type kind_row = { kind : string; bytes : int }
+
+type func_row = {
+  func : string;
+  hot_bytes : int;
+  cold_bytes : int;
+  hot_blocks : int;
+  cold_blocks : int;
+}
+
+type t = {
+  binary_name : string;
+  total_bytes : int;
+  kinds : kind_row list;
+  text_bytes : int;
+  hot_text_bytes : int;
+  cold_text_bytes : int;
+  text_padding_bytes : int;
+  bb_addr_map_bytes : int;
+  eh_frame_bytes : int;
+  rela_bytes : int;
+  metadata_bytes : int;
+  num_text_sections : int;
+  funcs : func_row list;
+}
+
+let all_kinds =
+  [
+    Objfile.Section.Text;
+    Objfile.Section.Rodata;
+    Objfile.Section.Data;
+    Objfile.Section.Eh_frame;
+    Objfile.Section.Bb_addr_map;
+    Objfile.Section.Rela;
+    Objfile.Section.Symtab;
+    Objfile.Section.Debug;
+  ]
+
+let measure (binary : Linker.Binary.t) =
+  let resolver = Resolve.create binary in
+  let texts =
+    List.filter (fun (p : Linker.Binary.placed) -> p.kind = Objfile.Section.Text) binary.sections
+  in
+  (* Per-function temperature attribution via the cluster symbol each
+     placed text section is bound to. *)
+  let acc : (string, func_row ref) Hashtbl.t = Hashtbl.create 256 in
+  let touch owner =
+    match Hashtbl.find_opt acc owner with
+    | Some r -> r
+    | None ->
+      let r = ref { func = owner; hot_bytes = 0; cold_bytes = 0; hot_blocks = 0; cold_blocks = 0 } in
+      Hashtbl.replace acc owner r;
+      r
+  in
+  let hot_text = ref 0 and cold_text = ref 0 in
+  List.iter
+    (fun (p : Linker.Binary.placed) ->
+      let owner =
+        match p.symbol with Some s -> Objfile.Symname.owner s | None -> p.name
+      in
+      let cold = Resolve.fragment_of_symbol p.symbol = Resolve.Cold in
+      let r = touch owner in
+      if cold then begin
+        cold_text := !cold_text + p.size;
+        r := { !r with cold_bytes = !r.cold_bytes + p.size }
+      end
+      else begin
+        hot_text := !hot_text + p.size;
+        r := { !r with hot_bytes = !r.hot_bytes + p.size }
+      end)
+    texts;
+  (* Block counts per temperature from the resolver. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (l : Resolve.location) ->
+          let r = touch f in
+          if l.fragment = Resolve.Cold then r := { !r with cold_blocks = !r.cold_blocks + 1 }
+          else r := { !r with hot_blocks = !r.hot_blocks + 1 })
+        (Resolve.blocks_of_func resolver f))
+    (Resolve.funcs resolver);
+  let k kind = Linker.Binary.size_of_kind binary kind in
+  let text_bytes = k Objfile.Section.Text in
+  let bb = k Objfile.Section.Bb_addr_map in
+  let eh = k Objfile.Section.Eh_frame in
+  let rela = k Objfile.Section.Rela in
+  {
+    binary_name = binary.name;
+    total_bytes = Linker.Binary.total_size binary;
+    kinds =
+      List.map (fun kind -> { kind = Objfile.Section.kind_to_string kind; bytes = k kind }) all_kinds;
+    text_bytes;
+    hot_text_bytes = !hot_text;
+    cold_text_bytes = !cold_text;
+    text_padding_bytes = binary.text_end - binary.text_start - text_bytes;
+    bb_addr_map_bytes = bb;
+    eh_frame_bytes = eh;
+    rela_bytes = rela;
+    metadata_bytes = bb + eh + rela;
+    num_text_sections = List.length texts;
+    funcs =
+      Hashtbl.fold (fun _ r out -> !r :: out) acc []
+      |> List.sort (fun a b -> String.compare a.func b.func);
+  }
+
+let to_text ?(top = 20) t =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "size %s: %s bytes total\n\n" t.binary_name (Render.bytes_exact t.total_bytes);
+  let kind_rows =
+    List.filter_map
+      (fun { kind; bytes } ->
+        if bytes = 0 then None
+        else
+          Some
+            [
+              "  " ^ kind;
+              Render.bytes_exact bytes;
+              Render.pct (float_of_int bytes /. float_of_int (max 1 t.total_bytes));
+            ])
+      t.kinds
+  in
+  Buffer.add_string buf (Render.table ~header:[ "  section"; "bytes"; "share" ] kind_rows);
+  Printf.bprintf buf "\ntext: %s hot + %s cold = %s across %d sections (+%s alignment padding)\n"
+    (Render.bytes_exact t.hot_text_bytes)
+    (Render.bytes_exact t.cold_text_bytes)
+    (Render.bytes_exact t.text_bytes) t.num_text_sections
+    (Render.bytes_exact t.text_padding_bytes);
+  Printf.bprintf buf "metadata overhead: %s (bb_addr_map %s, eh_frame %s, relocs %s)\n\n"
+    (Render.bytes_exact t.metadata_bytes)
+    (Render.bytes_exact t.bb_addr_map_bytes)
+    (Render.bytes_exact t.eh_frame_bytes)
+    (Render.bytes_exact t.rela_bytes);
+  let ranked =
+    List.sort
+      (fun a b ->
+        match compare (b.hot_bytes + b.cold_bytes) (a.hot_bytes + a.cold_bytes) with
+        | 0 -> String.compare a.func b.func
+        | c -> c)
+      t.funcs
+    |> List.filteri (fun i _ -> i < top)
+  in
+  let func_rows =
+    List.map
+      (fun f ->
+        let total = f.hot_bytes + f.cold_bytes in
+        [
+          "  " ^ f.func;
+          Render.bytes_exact total;
+          Render.bytes_exact f.hot_bytes;
+          Render.bytes_exact f.cold_bytes;
+          Printf.sprintf "%d+%d" f.hot_blocks f.cold_blocks;
+          Render.bar ~width:16 (float_of_int total /. float_of_int (max 1 t.text_bytes));
+        ])
+      ranked
+  in
+  Buffer.add_string buf
+    (Render.table
+       ~header:[ "  function"; "bytes"; "hot"; "cold"; "blocks(h+c)"; "share" ]
+       func_rows);
+  Buffer.contents buf
+
+let totals_json t =
+  Obs.Json.Obj
+    [
+      ("hot_text_bytes", Obs.Json.Int t.hot_text_bytes);
+      ("cold_text_bytes", Obs.Json.Int t.cold_text_bytes);
+      ("metadata_bytes", Obs.Json.Int t.metadata_bytes);
+      ("bb_addr_map_bytes", Obs.Json.Int t.bb_addr_map_bytes);
+      ("eh_frame_bytes", Obs.Json.Int t.eh_frame_bytes);
+      ("total_bytes", Obs.Json.Int t.total_bytes);
+    ]
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("tool", Obs.Json.String "propeller_inspect");
+      ("view", Obs.Json.String "size");
+      ("binary", Obs.Json.String t.binary_name);
+      ("total_bytes", Obs.Json.Int t.total_bytes);
+      ( "sections",
+        Obs.Json.Obj (List.map (fun { kind; bytes } -> (kind, Obs.Json.Int bytes)) t.kinds) );
+      ( "text",
+        Obs.Json.Obj
+          [
+            ("total_bytes", Obs.Json.Int t.text_bytes);
+            ("hot_bytes", Obs.Json.Int t.hot_text_bytes);
+            ("cold_bytes", Obs.Json.Int t.cold_text_bytes);
+            ("padding_bytes", Obs.Json.Int t.text_padding_bytes);
+            ("num_sections", Obs.Json.Int t.num_text_sections);
+          ] );
+      ( "metadata",
+        Obs.Json.Obj
+          [
+            ("total_bytes", Obs.Json.Int t.metadata_bytes);
+            ("bb_addr_map_bytes", Obs.Json.Int t.bb_addr_map_bytes);
+            ("eh_frame_bytes", Obs.Json.Int t.eh_frame_bytes);
+            ("rela_bytes", Obs.Json.Int t.rela_bytes);
+          ] );
+      ( "functions",
+        Obs.Json.List
+          (List.map
+             (fun f ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String f.func);
+                   ("hot_bytes", Obs.Json.Int f.hot_bytes);
+                   ("cold_bytes", Obs.Json.Int f.cold_bytes);
+                   ("hot_blocks", Obs.Json.Int f.hot_blocks);
+                   ("cold_blocks", Obs.Json.Int f.cold_blocks);
+                 ])
+             t.funcs) );
+    ]

@@ -1,0 +1,56 @@
+(** Bloaty-style byte accounting of a linked image (paper Fig 6).
+
+    Three reconciling breakdowns of the same binary:
+
+    - {b by section kind} — text, eh_frame, bb_addr_map, relocs,
+      rodata/data/symtab; sums exactly to
+      {!Linker.Binary.total_size} and each kind to
+      {!Linker.Binary.size_of_kind};
+    - {b text by temperature} — hot (primary + numbered clusters) vs
+      cold ([.cold] fragments); sums exactly to
+      {!Linker.Binary.text_bytes}. Alignment gaps between text sections
+      are reported separately as padding (they are address-space, not
+      file bytes, so they do not enter the section sums);
+    - {b text by function} — per-function hot/cold bytes and block
+      counts, the Fig 6 "where did the bytes go" attribution.
+
+    Metadata overhead groups the sections that exist only to carry
+    profile/rewriter metadata: [.llvm_bb_addr_map] (the PM build's
+    mapping section), [.eh_frame] growth and retained relocations. *)
+
+type kind_row = { kind : string; bytes : int }
+
+type func_row = {
+  func : string;
+  hot_bytes : int;
+  cold_bytes : int;
+  hot_blocks : int;
+  cold_blocks : int;
+}
+
+type t = {
+  binary_name : string;
+  total_bytes : int;  (** = {!Linker.Binary.total_size}. *)
+  kinds : kind_row list;  (** Fixed kind order; sums to [total_bytes]. *)
+  text_bytes : int;
+  hot_text_bytes : int;
+  cold_text_bytes : int;
+  text_padding_bytes : int;  (** Alignment gaps inside the text segment. *)
+  bb_addr_map_bytes : int;
+  eh_frame_bytes : int;
+  rela_bytes : int;
+  metadata_bytes : int;  (** bb_addr_map + eh_frame + relocs. *)
+  num_text_sections : int;
+  funcs : func_row list;  (** Name order; hot+cold sums to [text_bytes]. *)
+}
+
+(** [measure binary] computes the full accounting. *)
+val measure : Linker.Binary.t -> t
+
+val to_text : ?top:int -> t -> string
+
+val to_json : t -> Obs.Json.t
+
+(** [totals_json t] is the compact record the bench JSON embeds:
+    hot/cold text, metadata and total bytes. *)
+val totals_json : t -> Obs.Json.t

@@ -73,3 +73,10 @@ let funcs t =
   let seen = Hashtbl.create 64 in
   Hashtbl.iter (fun (f, _) _ -> Hashtbl.replace seen f ()) t.blocks;
   Hashtbl.fold (fun f () acc -> f :: acc) seen [] |> List.sort compare
+
+let blocks_in_address_order t = Array.to_list (sorted_blocks t)
+
+let symbols_sorted t =
+  Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.symbols []
+  |> List.sort (fun (na, aa) (nb, ab) ->
+         match compare aa ab with 0 -> String.compare na nb | c -> c)

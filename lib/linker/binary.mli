@@ -72,3 +72,14 @@ val find_block_by_addr : t -> int -> block_info option
 
 (** [funcs t] lists function names with placed blocks. *)
 val funcs : t -> string list
+
+(** [blocks_in_address_order t] lists every placed block sorted by final
+    virtual address — the deterministic iteration order introspection
+    tools need (the raw [blocks] table iterates in hash order). Shares
+    the cached sorted index of {!find_block_by_addr}. *)
+val blocks_in_address_order : t -> block_info list
+
+(** [symbols_sorted t] lists (symbol, address) pairs sorted by address,
+    ties broken by name — a stable walk of the symbol table for listings
+    and diffs. *)
+val symbols_sorted : t -> (string * int) list

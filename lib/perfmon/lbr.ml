@@ -5,12 +5,19 @@ let default_config = { period = 101; buffer_depth = 32 }
 type profile = {
   branches : (int * int, int) Hashtbl.t;
   ranges : (int * int, int) Hashtbl.t;
+  mispredicts : (int * int, int) Hashtbl.t;
   mutable num_samples : int;
   mutable num_records : int;
 }
 
 let create_profile () =
-  { branches = Hashtbl.create 4096; ranges = Hashtbl.create 4096; num_samples = 0; num_records = 0 }
+  {
+    branches = Hashtbl.create 4096;
+    ranges = Hashtbl.create 4096;
+    mispredicts = Hashtbl.create 1024;
+    num_samples = 0;
+    num_records = 0;
+  }
 
 let bump tbl key =
   match Hashtbl.find_opt tbl key with
@@ -21,9 +28,29 @@ let collector config profile =
   let depth = config.buffer_depth in
   let ring_src = Array.make depth 0 in
   let ring_dst = Array.make depth 0 in
+  let ring_mis = Array.make depth false in
   let head = ref 0 (* next write position *) in
   let filled = ref 0 in
   let since_sample = ref 0 in
+  (* Per-record MISPRED bit, as real LBR hardware stores it. Conditional
+     direction is predicted by a 2-bit saturating counter per branch
+     address; indirect-jump targets by the last target seen at the
+     source. Unconditional direct transfers never mispredict. *)
+  let cond_state : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let ind_last : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let predict ~src ~dst ~kind ~taken =
+    match (kind : Exec.Event.branch_kind) with
+    | Exec.Event.Cond ->
+      let st = Option.value (Hashtbl.find_opt cond_state src) ~default:1 in
+      let predicted_taken = st >= 2 in
+      Hashtbl.replace cond_state src (if taken then min 3 (st + 1) else max 0 (st - 1));
+      predicted_taken <> taken
+    | Exec.Event.Indirect ->
+      let last = Hashtbl.find_opt ind_last src in
+      Hashtbl.replace ind_last src dst;
+      last <> Some dst
+    | Exec.Event.Uncond | Exec.Event.Call | Exec.Event.Ret -> false
+  in
   let sample () =
     profile.num_samples <- profile.num_samples + 1;
     let n = !filled in
@@ -34,6 +61,7 @@ let collector config profile =
       let i = (start + k) mod depth in
       profile.num_records <- profile.num_records + 1;
       bump profile.branches (ring_src.(i), ring_dst.(i));
+      if ring_mis.(i) then bump profile.mispredicts (ring_src.(i), ring_dst.(i));
       if !prev_dst >= 0 && ring_src.(i) >= !prev_dst then
         bump profile.ranges (!prev_dst, ring_src.(i));
       prev_dst := ring_dst.(i)
@@ -42,10 +70,12 @@ let collector config profile =
   {
     Exec.Event.on_fetch = (fun _ _ _ -> ());
     on_branch =
-      (fun ~src ~dst ~kind:_ ~taken ->
+      (fun ~src ~dst ~kind ~taken ->
+        let mispredicted = predict ~src ~dst ~kind ~taken in
         if taken then begin
           ring_src.(!head) <- src;
           ring_dst.(!head) <- dst;
+          ring_mis.(!head) <- mispredicted;
           head := (!head + 1) mod depth;
           if !filled < depth then incr filled;
           incr since_sample;
@@ -68,18 +98,27 @@ let branch_total profile = table_total profile.branches
 
 let range_total profile = table_total profile.ranges
 
+let mispredict_total profile = table_total profile.mispredicts
+
+let mispredict_count profile ~src ~dst =
+  Option.value (Hashtbl.find_opt profile.mispredicts (src, dst)) ~default:0
+
+let mispredict_rate profile ~src ~dst =
+  match Hashtbl.find_opt profile.branches (src, dst) with
+  | None | Some 0 -> 0.0
+  | Some n -> float_of_int (mispredict_count profile ~src ~dst) /. float_of_int n
+
+let merge_table dst src =
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt dst k with
+      | Some c -> Hashtbl.replace dst k (c + v)
+      | None -> Hashtbl.add dst k v)
+    src
+
 let merge a b =
-  Hashtbl.iter
-    (fun k v ->
-      match Hashtbl.find_opt a.branches k with
-      | Some c -> Hashtbl.replace a.branches k (c + v)
-      | None -> Hashtbl.add a.branches k v)
-    b.branches;
-  Hashtbl.iter
-    (fun k v ->
-      match Hashtbl.find_opt a.ranges k with
-      | Some c -> Hashtbl.replace a.ranges k (c + v)
-      | None -> Hashtbl.add a.ranges k v)
-    b.ranges;
+  merge_table a.branches b.branches;
+  merge_table a.ranges b.ranges;
+  merge_table a.mispredicts b.mispredicts;
   a.num_samples <- a.num_samples + b.num_samples;
   a.num_records <- a.num_records + b.num_records

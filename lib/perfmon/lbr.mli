@@ -24,6 +24,13 @@ val default_config : config
 type profile = {
   branches : (int * int, int) Hashtbl.t;  (** (src, dst) -> count *)
   ranges : (int * int, int) Hashtbl.t;  (** (start, end) -> count *)
+  mispredicts : (int * int, int) Hashtbl.t;
+      (** (src, dst) -> count of records whose MISPRED bit was set.
+          Hardware LBR stores one mispredict bit per record; the
+          collector models it with a 2-bit saturating direction
+          predictor per conditional-branch address and a last-target
+          predictor per indirect-jump address. Unconditional direct
+          transfers never mispredict. *)
   mutable num_samples : int;
   mutable num_records : int;
 }
@@ -47,6 +54,19 @@ val branch_total : profile -> int
 
 (** [range_total p] sums the counts of all sequential-range records. *)
 val range_total : profile -> int
+
+(** [mispredict_total p] sums all mispredicted records. *)
+val mispredict_total : profile -> int
+
+(** [mispredict_count p ~src ~dst] is the number of sampled records of
+    the (src, dst) pair whose MISPRED bit was set (0 when unseen). *)
+val mispredict_count : profile -> src:int -> dst:int -> int
+
+(** [mispredict_rate p ~src ~dst] is the per-branch mispredict rate:
+    mispredicted records of the pair over all its records. 0 for pairs
+    never sampled (annotation views render those as clean, which is the
+    perf-annotate convention). *)
+val mispredict_rate : profile -> src:int -> dst:int -> float
 
 (** [merge a b] accumulates profile [b] into [a] (multi-shard collection,
     as production profiles arrive from many machines). *)

@@ -59,6 +59,27 @@ grep -q "buildsys.cache" "$out_dir/metrics.json" || {
   exit 1
 }
 
+echo "== propeller_inspect smoke =="
+# Each view must produce JSON that our own Obs.Json parser accepts; the
+# validate subcommand exits non-zero on any parse failure.
+for view in annotate size paths; do
+  dune exec bin/propeller_inspect.exe -- "$view" \
+    -b 505.mcf -r 40 --json -o "$out_dir/inspect_$view.json" || {
+    echo "FAIL: propeller_inspect $view --json exited non-zero" >&2
+    exit 1
+  }
+  test -s "$out_dir/inspect_$view.json" || {
+    echo "FAIL: empty inspect_$view.json" >&2
+    exit 1
+  }
+done
+dune exec bin/propeller_inspect.exe -- validate \
+  "$out_dir/inspect_annotate.json" "$out_dir/inspect_size.json" \
+  "$out_dir/inspect_paths.json" || {
+  echo "FAIL: propeller_inspect validate rejected an emitted view" >&2
+  exit 1
+}
+
 echo "== bench regression gate =="
 # Emit a fresh bench JSON for the small progen workload and diff it
 # against the committed golden baseline; >5% regression fails the check.

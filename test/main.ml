@@ -18,6 +18,7 @@ let () =
       ("prefetch", Test_prefetch.suite);
       ("boltsim", Test_boltsim.suite);
       ("diagnostics", Test_diagnostics.suite);
+      ("inspect", Test_inspect.suite);
       ("integration", Test_integration.suite);
       ("properties", Test_properties.suite);
     ]
