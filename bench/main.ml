@@ -61,16 +61,35 @@ type options = {
   mutable json_out : string option;
   mutable json_bench : string list;
   mutable json_requests : int option;
+  mutable jobs : int option;
+  mutable jobs_sweep : int list;
   mutable names : string list;  (* experiments, in order *)
 }
 
 let usage_exit () =
   Printf.eprintf
-    "usage: main.exe [--json-out FILE] [--json-bench A,B] [--json-requests N] [experiment ...]\n";
+    "usage: main.exe [--json-out FILE] [--json-bench A,B] [--json-requests N] [--jobs N] \
+     [--jobs-sweep 1,2,8] [experiment ...]\n";
   exit 2
 
 let parse_args argv =
-  let o = { json_out = None; json_bench = [ "505.mcf" ]; json_requests = None; names = [] } in
+  let o =
+    {
+      json_out = None;
+      json_bench = [ "505.mcf" ];
+      json_requests = None;
+      jobs = None;
+      jobs_sweep = [ 1; 2; 4 ];
+      names = [];
+    }
+  in
+  let positive flag n =
+    match int_of_string_opt n with
+    | Some n when n > 0 -> n
+    | _ ->
+      Printf.eprintf "%s: positive integer expected, got %S\n" flag n;
+      exit 2
+  in
   let rec go = function
     | [] -> o
     | "--json-out" :: file :: rest ->
@@ -80,13 +99,17 @@ let parse_args argv =
       o.json_bench <- String.split_on_char ',' names;
       go rest
     | "--json-requests" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some n when n > 0 -> o.json_requests <- Some n
-      | _ ->
-        Printf.eprintf "--json-requests: positive integer expected, got %S\n" n;
-        exit 2);
+      o.json_requests <- Some (positive "--json-requests" n);
       go rest
-    | ("--json-out" | "--json-bench" | "--json-requests") :: [] -> usage_exit ()
+    | "--jobs" :: n :: rest ->
+      o.jobs <- Some (positive "--jobs" n);
+      go rest
+    | "--jobs-sweep" :: ns :: rest ->
+      o.jobs_sweep <-
+        List.map (positive "--jobs-sweep") (String.split_on_char ',' ns);
+      go rest
+    | ("--json-out" | "--json-bench" | "--json-requests" | "--jobs" | "--jobs-sweep") :: [] ->
+      usage_exit ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage_exit ()
     | name :: rest ->
       o.names <- o.names @ [ name ];
@@ -105,10 +128,11 @@ let emit_json o file =
           exit 2)
       o.json_bench
   in
-  Jsonout.emit ~file ~specs ~requests:o.json_requests
+  Jsonout.emit ~jobs_sweep:o.jobs_sweep ~file ~specs ~requests:o.json_requests ()
 
 let () =
   let o = parse_args Sys.argv in
+  (match o.jobs with Some j -> Support.Pool.set_default_jobs j | None -> ());
   let names =
     match (o.names, o.json_out) with
     | [], Some _ -> []  (* JSON-only run *)

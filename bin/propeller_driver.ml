@@ -5,8 +5,14 @@
 
 open Cmdliner
 
-let run benchmark requests interproc no_split hugepages prefetch verbose trace_file metrics
-    metrics_out =
+let run benchmark requests interproc no_split hugepages prefetch jobs verbose trace_file
+    metrics metrics_out =
+  (match jobs with
+  | Some j when j < 1 ->
+    Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
+    exit 2
+  | Some j -> Support.Pool.set_default_jobs j
+  | None -> ());
   match Progen.Suite.by_name benchmark with
   | None ->
     Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
@@ -41,6 +47,12 @@ let run benchmark requests interproc no_split hugepages prefetch verbose trace_f
       (float_of_int result.wpa.peak_mem_bytes /. 1.0e9);
     Printf.printf "phase 4 (relink): %d/%d objects re-generated, %.1fs wall\n"
       result.hot_objects result.total_objects result.times.optimize_build_s;
+    Printf.printf "layout cache: %d hits, %d misses (jobs=%d)\n"
+      result.wpa.layout_cache_hits result.wpa.layout_cache_misses
+      (Support.Pool.jobs env.Buildsys.Driver.pool);
+    Printf.printf "image digest: %s\n"
+      (Support.Digesting.to_hex
+         (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary result)));
     (match result.prefetch with
     | Some p ->
       Printf.printf "prefetch (3.5): %d insertion sites covering %d/%d sampled misses\n"
@@ -124,6 +136,15 @@ let hugepages = Arg.(value & flag & info [ "hugepages" ] ~doc:"Map text with 2M 
 let prefetch =
   Arg.(value & flag & info [ "prefetch" ] ~doc:"Software prefetch insertion (paper 3.5).")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain pool width for per-function/per-unit fan-out (default \
+           \\$(b,PROPELLER_JOBS) or 1). Outputs are byte-identical for any N.")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump cc_prof/ld_prof.")
 
 let trace_file =
@@ -146,7 +167,7 @@ let cmd =
   Cmd.v
     (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
     Term.(
-      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ verbose
-      $ trace_file $ metrics $ metrics_out)
+      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ jobs
+      $ verbose $ trace_file $ metrics $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

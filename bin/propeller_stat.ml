@@ -41,7 +41,13 @@ let write_file file contents =
     Printf.eprintf "cannot write %s: %s\n" file msg;
     exit 1
 
-let run_stat benchmark requests json out =
+let run_stat benchmark requests jobs json out =
+  (match jobs with
+  | Some j when j < 1 ->
+    Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
+    exit 2
+  | Some j -> Support.Pool.set_default_jobs j
+  | None -> ());
   match Progen.Suite.by_name benchmark with
   | None ->
     Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
@@ -71,6 +77,13 @@ let run_stat benchmark requests json out =
     in
     let report = Diagnostics.Report.analyze ~name:spec.name ~counters:(cb, cp) ~result () in
     Diagnostics.Report.publish ~recorder report;
+    if not json then
+      Printf.printf
+        "relink caches: layout %d hits / %d misses; objects %d hits / %d misses (jobs=%d)\n"
+        result.wpa.layout_cache_hits result.wpa.layout_cache_misses
+        (Buildsys.Cache.hits env.Buildsys.Driver.obj_cache)
+        (Buildsys.Cache.misses env.Buildsys.Driver.obj_cache)
+        (Support.Pool.jobs env.Buildsys.Driver.pool);
     let rendered =
       if json then Obs.Json.to_string (Diagnostics.Report.to_json report) ^ "\n"
       else Diagnostics.Report.to_text report
@@ -121,6 +134,12 @@ let benchmark =
 let requests =
   Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Domain pool width (default \\$(b,PROPELLER_JOBS) or 1).")
+
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
 
 let out =
@@ -129,7 +148,7 @@ let out =
     & opt (some string) None
     & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
 
-let run_term = Term.(const run_stat $ benchmark $ requests $ json $ out)
+let run_term = Term.(const run_stat $ benchmark $ requests $ jobs $ json $ out)
 
 let run_cmd =
   Cmd.v

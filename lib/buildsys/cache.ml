@@ -1,27 +1,94 @@
+type 'a entry = { value : 'a; bytes : int; mutable stamp : int }
+
 type 'a t = {
-  entries : (Support.Digesting.t, 'a) Hashtbl.t;
+  entries : (Support.Digesting.t, 'a entry) Hashtbl.t;
+  capacity_bytes : int option;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
   mutable stored : int;
+  mutable tick : int;  (* LRU clock: bumped on every find/add *)
 }
 
-let create () = { entries = Hashtbl.create 256; hits = 0; misses = 0; stored = 0 }
+let create ?capacity_bytes () =
+  (match capacity_bytes with
+  | Some c when c < 0 -> invalid_arg "Cache.create: negative capacity"
+  | Some _ | None -> ());
+  {
+    entries = Hashtbl.create 256;
+    capacity_bytes;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stored = 0;
+    tick = 0;
+  }
 
-let find_or_add c key ~size compute =
+let find c key =
+  c.tick <- c.tick + 1;
   match Hashtbl.find_opt c.entries key with
-  | Some v ->
+  | Some e ->
     c.hits <- c.hits + 1;
-    (v, true)
+    e.stamp <- c.tick;
+    Some e.value
   | None ->
     c.misses <- c.misses + 1;
+    None
+
+(* Evict least-recently-used entries until the store fits. The entry
+   under [keep] (the one just added) is never evicted, so a single
+   oversized artifact still lands. Ties cannot happen: stamps are
+   unique ticks. *)
+let evict_to_fit c ~keep =
+  match c.capacity_bytes with
+  | None -> ()
+  | Some cap ->
+    while
+      c.stored > cap
+      &&
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k (e : 'a entry) ->
+          if not (Support.Digesting.equal k keep) then
+            match !victim with
+            | Some (_, stamp) when stamp <= e.stamp -> ()
+            | Some _ | None -> victim := Some (k, e.stamp))
+        c.entries;
+      match !victim with
+      | None -> false
+      | Some (k, _) ->
+        let e = Hashtbl.find c.entries k in
+        Hashtbl.remove c.entries k;
+        c.stored <- c.stored - e.bytes;
+        c.evictions <- c.evictions + 1;
+        true
+    do
+      ()
+    done
+
+let add c key ~size v =
+  c.tick <- c.tick + 1;
+  let bytes = size v in
+  (match Hashtbl.find_opt c.entries key with
+  | Some old -> c.stored <- c.stored - old.bytes
+  | None -> ());
+  Hashtbl.replace c.entries key { value = v; bytes; stamp = c.tick };
+  c.stored <- c.stored + bytes;
+  evict_to_fit c ~keep:key
+
+let find_or_add c key ~size compute =
+  match find c key with
+  | Some v -> (v, true)
+  | None ->
     let v = compute () in
-    Hashtbl.add c.entries key v;
-    c.stored <- c.stored + size v;
+    add c key ~size v;
     (v, false)
 
 let hits c = c.hits
 
 let misses c = c.misses
+
+let evictions c = c.evictions
 
 let stored_bytes c = c.stored
 
@@ -31,6 +98,9 @@ let hit_rate c =
 
 let num_entries c = Hashtbl.length c.entries
 
+let mem c key = Hashtbl.mem c.entries key
+
 let reset_stats c =
   c.hits <- 0;
-  c.misses <- 0
+  c.misses <- 0;
+  c.evictions <- 0

@@ -3,25 +3,47 @@
     Actions are keyed by a digest of (tool, inputs, flags); a key hit
     returns the stored artifact without running the action — the
     mechanism that makes Propeller's Phase-4 relink cheap: only objects
-    whose directives changed get re-generated, everything cold is a
-    cache hit.
+    whose directives changed get re-generated, and only functions whose
+    profile counts changed get their layout recomputed; everything cold
+    is a cache hit.
 
-    Hit/miss/stored-bytes accounting is kept per cache; {!Driver}
-    mirrors the deltas into its telemetry recorder. *)
+    The cache is optionally bounded: give [create] a byte capacity and
+    least-recently-used artifacts are evicted once the store overflows.
+    Eviction order is a pure function of the lookup/insert sequence, so
+    cache contents stay deterministic for any [--jobs] width (lookups
+    and commits always happen on the build coordinator, in unit order).
+
+    Hit/miss/eviction/stored-bytes accounting is kept per cache;
+    {!Driver} mirrors the deltas into its telemetry recorder. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity_bytes ()] makes an empty cache; no capacity means
+    unbounded (the warehouse CAS model). *)
+val create : ?capacity_bytes:int -> unit -> 'a t
+
+(** [find c key] looks [key] up, counting a hit (and refreshing its LRU
+    stamp) or a miss. The build driver uses the split [find]/[add] pair
+    so artifact computation can fan out on the domain pool between the
+    two, while all cache mutation stays on the coordinator. *)
+val find : 'a t -> Support.Digesting.t -> 'a option
+
+(** [add c key ~size v] stores [v] under [key], charging [size v] bytes
+    (replacing any previous entry), then evicts LRU entries until the
+    store fits the capacity. The just-added key is never evicted. *)
+val add : 'a t -> Support.Digesting.t -> size:('a -> int) -> 'a -> unit
 
 (** [find_or_add c key ~size compute] returns [(artifact, hit)]: the
     cached artifact when [key] is present ([hit = true]), otherwise
-    [compute ()], stored under [key] and charged [size artifact] bytes
-    ([hit = false]). *)
+    [compute ()], stored under [key] ([hit = false]). *)
 val find_or_add : 'a t -> Support.Digesting.t -> size:('a -> int) -> (unit -> 'a) -> 'a * bool
 
 val hits : 'a t -> int
 
 val misses : 'a t -> int
+
+(** [evictions c] counts artifacts dropped by the capacity bound. *)
+val evictions : 'a t -> int
 
 (** [stored_bytes c] is the total size of all stored artifacts. *)
 val stored_bytes : 'a t -> int
@@ -32,6 +54,9 @@ val hit_rate : 'a t -> float
 (** [num_entries c] counts stored artifacts. *)
 val num_entries : 'a t -> int
 
-(** [reset_stats c] zeroes the hit/miss counters; contents (and their
-    [stored_bytes] accounting) survive. *)
+(** [mem c key] is presence without touching any counter or LRU state. *)
+val mem : 'a t -> Support.Digesting.t -> bool
+
+(** [reset_stats c] zeroes the hit/miss/eviction counters; contents
+    (and their [stored_bytes] accounting) survive. *)
 val reset_stats : 'a t -> unit

@@ -1,18 +1,28 @@
 type env = {
   obj_cache : Objfile.File.t Cache.t;
+  layout_cache : (Codegen.Directive.func_plan * float) Cache.t;
   workers : int;
   mem_limit : int option;
   recorder : Obs.Recorder.t;
+  pool : Support.Pool.t;
 }
 
 (* Default pool models the distributed backend of a warehouse-scale
    build (paper §3.1): wide enough that codegen wall time is dominated
    by the longest unit, not by queueing. *)
-let make_env ?(workers = 256) ?mem_limit ?recorder () =
+let make_env ?(workers = 256) ?mem_limit ?recorder ?pool () =
   let recorder =
     match recorder with Some r -> r | None -> Obs.Recorder.global
   in
-  { obj_cache = Cache.create (); workers; mem_limit; recorder }
+  let pool = match pool with Some p -> p | None -> Support.Pool.global () in
+  {
+    obj_cache = Cache.create ();
+    layout_cache = Cache.create ();
+    workers;
+    mem_limit;
+    recorder;
+    pool;
+  }
 
 type result = {
   binary : Linker.Binary.t;
@@ -28,16 +38,25 @@ type result = {
 let tool_digest = Support.Digesting.of_string "propeller-backend-v1"
 
 (* Function IR digests are memoized structurally: units are immutable
-   between builds, so the Phase-4 rebuild re-digests nothing. *)
+   between builds, so the Phase-4 rebuild re-digests nothing. Key
+   computation fans out across units on the pool, so the memo is
+   guarded by a mutex (writes are rare after the first build). *)
 let func_digests : (Ir.Func.t, Support.Digesting.t) Hashtbl.t =
   Hashtbl.create 1024
 
+let func_digests_m = Mutex.create ()
+
 let func_digest f =
-  match Hashtbl.find_opt func_digests f with
+  Mutex.lock func_digests_m;
+  let cached = Hashtbl.find_opt func_digests f in
+  Mutex.unlock func_digests_m;
+  match cached with
   | Some d -> d
   | None ->
     let d = Support.Digesting.of_string (Format.asprintf "%a" Ir.Func.pp f) in
+    Mutex.lock func_digests_m;
     Hashtbl.replace func_digests f d;
+    Mutex.unlock func_digests_m;
     d
 
 let unit_action_key (u : Ir.Cunit.t) (options : Codegen.options) =
@@ -64,6 +83,33 @@ let unit_action_key (u : Ir.Cunit.t) (options : Codegen.options) =
         Support.Digesting.of_string (Codegen.Directive.to_text plans);
       ])
 
+(* Per-unit outcome of the sequential cache pass. [Dup] marks a unit
+   whose key is already being compiled for an earlier unit this build:
+   its lookup is deferred to the commit pass, where it hits — exactly
+   the accounting the one-pass sequential build produced. *)
+type slot =
+  | Hit of Objfile.File.t
+  | Miss of int  (* index into the compiled-misses array *)
+  | Dup
+
+(* Commit one domain-lane span per pool worker that ran tasks during
+   the phase, so the Chrome trace shows the fan-out (lane = tid 2+w;
+   lane 1 keeps the sequential stack spans). *)
+let emit_pool_spans r pool ~label ~start ~duration =
+  let st = Support.Pool.stats pool in
+  let steals = st.steals in
+  Array.iteri
+    (fun w tasks ->
+      if tasks > 0 then
+        Obs.Recorder.emit_span r label ~tid:(2 + w) ~start ~duration
+          ~args:
+            [
+              ("domain", Obs.Trace.Int w);
+              ("tasks", Obs.Trace.Int tasks);
+              ("steals", Obs.Trace.Int (if w = 0 then steals else 0));
+            ])
+    st.tasks_per_worker
+
 let build env ~name ~program ~codegen_options ~link_options =
   let r = env.recorder in
   Obs.Recorder.with_span r ("build:" ^ name) @@ fun () ->
@@ -71,30 +117,72 @@ let build env ~name ~program ~codegen_options ~link_options =
   let actions = ref [] in
   let objs, codegen_report =
     Obs.Recorder.with_span r "codegen" @@ fun () ->
+    Support.Pool.reset_stats env.pool;
+    let phase_start = Obs.Recorder.now r in
+    let units = Array.of_list (Ir.Program.units program) in
+    let n = Array.length units in
+    (* Action keys: pure per-unit digesting, fanned out on the pool. *)
+    let keys =
+      Support.Pool.map_array env.pool n (fun i -> unit_action_key units.(i) codegen_options)
+    in
+    (* Sequential cache pass in unit order: all Cache state (hit/miss
+       counters, LRU stamps) mutates on the coordinator only, so the
+       accounting is identical for any pool width. *)
+    let pending : (Support.Digesting.t, unit) Hashtbl.t = Hashtbl.create 64 in
+    let miss_units = ref [] and num_miss = ref 0 in
+    let slots =
+      Array.init n (fun i ->
+          let key = keys.(i) in
+          if Hashtbl.mem pending key then Dup
+          else
+            match Cache.find env.obj_cache key with
+            | Some obj -> Hit obj
+            | None ->
+              Hashtbl.replace pending key ();
+              miss_units := units.(i) :: !miss_units;
+              let s = Miss !num_miss in
+              incr num_miss;
+              s)
+    in
+    let miss_units = Array.of_list (List.rev !miss_units) in
+    (* Backend fan-out: compile every missed unit across the pool. *)
+    let compiled =
+      Support.Pool.map_array env.pool (Array.length miss_units) (fun j ->
+          Codegen.compile_unit ~pool:env.pool codegen_options miss_units.(j))
+    in
+    (* Commit pass, unit order: store artifacts, settle dup lookups,
+       and account scheduler actions — deterministic by construction. *)
     let objs =
-      List.map
-        (fun (u : Ir.Cunit.t) ->
-          let key = unit_action_key u codegen_options in
-          let obj, hit =
-            Cache.find_or_add env.obj_cache key ~size:Objfile.File.total_size
-              (fun () -> Codegen.compile_unit codegen_options u)
-          in
-          (if hit then incr hits
-           else begin
-             incr misses;
-             let code_bytes = Ir.Cunit.code_bytes u in
-             let a =
-               {
-                 Scheduler.label = u.name;
-                 cpu_seconds = Costmodel.codegen_seconds ~code_bytes;
-                 peak_mem_bytes = Costmodel.codegen_mem ~code_bytes;
-               }
-             in
-             Obs.Recorder.observe r "buildsys.action.cpu_seconds" a.cpu_seconds;
-             actions := a :: !actions
-           end);
-          obj)
-        (Ir.Program.units program)
+      Array.to_list
+        (Array.mapi
+           (fun i slot ->
+             let u = units.(i) in
+             match slot with
+             | Hit obj ->
+               incr hits;
+               obj
+             | Dup -> (
+               match Cache.find env.obj_cache keys.(i) with
+               | Some obj ->
+                 incr hits;
+                 obj
+               | None -> assert false (* committed by an earlier index *))
+             | Miss j ->
+               let obj = compiled.(j) in
+               Cache.add env.obj_cache keys.(i) ~size:Objfile.File.total_size obj;
+               incr misses;
+               let code_bytes = Ir.Cunit.code_bytes u in
+               let a =
+                 {
+                   Scheduler.label = u.name;
+                   cpu_seconds = Costmodel.codegen_seconds ~code_bytes;
+                   peak_mem_bytes = Costmodel.codegen_mem ~code_bytes;
+                 }
+               in
+               Obs.Recorder.observe r "buildsys.action.cpu_seconds" a.cpu_seconds;
+               actions := a :: !actions;
+               obj)
+           slots)
     in
     let report =
       Scheduler.schedule ?mem_limit:env.mem_limit ~workers:env.workers
@@ -106,7 +194,10 @@ let build env ~name ~program ~codegen_options ~link_options =
         ("actions", Obs.Trace.Int report.num_actions);
         ("cache_hits", Obs.Trace.Int !hits);
         ("workers", Obs.Trace.Int env.workers);
+        ("jobs", Obs.Trace.Int (Support.Pool.jobs env.pool));
       ];
+    emit_pool_spans r env.pool ~label:"codegen:domain" ~start:phase_start
+      ~duration:report.wall_seconds;
     (objs, report)
   in
   let outcome =

@@ -14,16 +14,29 @@
 
 type env = {
   obj_cache : Objfile.File.t Cache.t;
+  layout_cache : (Codegen.Directive.func_plan * float) Cache.t;
+      (** Content-addressed per-function layout results (plan, score),
+          keyed by (function shape, profile counts, layout config); the
+          incremental-relink cache Wpa consults on warm relinks. *)
   workers : int;  (** Remote-executor pool size. *)
   mem_limit : int option;  (** Per-action RSS flag threshold. *)
   recorder : Obs.Recorder.t;  (** Telemetry scope of this env's builds. *)
+  pool : Support.Pool.t;  (** Domain pool for per-function fan-out. *)
 }
 
-(** [make_env ()] builds a fresh env with an empty cache. [recorder]
+(** [make_env ()] builds a fresh env with empty caches. [recorder]
     defaults to {!Obs.Recorder.global}; pass a fresh one to isolate a
-    run's telemetry (tests do, to compare two runs' exports). *)
+    run's telemetry (tests do, to compare two runs' exports). [pool]
+    defaults to {!Support.Pool.global}, sized by [--jobs] /
+    [PROPELLER_JOBS]; results commit in index order, so build outputs
+    are byte-identical for any pool width. *)
 val make_env :
-  ?workers:int -> ?mem_limit:int -> ?recorder:Obs.Recorder.t -> unit -> env
+  ?workers:int ->
+  ?mem_limit:int ->
+  ?recorder:Obs.Recorder.t ->
+  ?pool:Support.Pool.t ->
+  unit ->
+  env
 
 type result = {
   binary : Linker.Binary.t;

@@ -37,3 +37,14 @@ val schedule : ?mem_limit:int -> workers:int -> action list -> result
 
 (** [worker_timeline r w] is worker [w]'s placements in start order. *)
 val worker_timeline : result -> int -> placement list
+
+(** [critical_path r] is the longest single action's cost — the floor
+    the makespan cannot beat no matter how many workers are added (the
+    Amdahl bound the [--jobs] sweep report quotes against measured
+    speedups). 0 for an empty schedule. *)
+val critical_path : result -> float
+
+(** [plan_memo_hits ()] counts LPT plans served from the memoized sort
+    (the sorted task list is cached per action list, so repeated builds
+    of the same program don't replan from scratch). *)
+val plan_memo_hits : unit -> int

@@ -19,9 +19,13 @@ let default_params =
     use_pqueue = true;
   }
 
-let merge_count = ref 0
+(* Domain-local so concurrent [order] calls from a pool batch don't
+   race; [last_merge_count] reports the calling domain's last run. *)
+let merge_count_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let last_merge_count () = !merge_count
+let merge_count () = Domain.DLS.get merge_count_key
+
+let last_merge_count () = !(merge_count ())
 
 (* Contribution of one edge given the jump distance in bytes. [dist] is
    (dst_start - src_end): 0 means fall-through. *)
@@ -129,6 +133,7 @@ let best_merge p scratch sizes entry a b cross =
     if gain > 1e-9 then Some (gain, arr, s) else None
 
 let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
+  let merge_count = merge_count () in
   merge_count := 0;
   let n = Array.length sizes in
   if n = 0 then []
@@ -300,3 +305,20 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
     in
     List.concat_map (fun c -> Array.to_list c.nodes) sorted
   end
+
+type instance = {
+  sizes : int array;
+  weights : float array;
+  edges : (int * int * float) list;
+  entry : int;
+}
+
+let order_batch ?(params = default_params) ~pool instances =
+  Support.Pool.map_array pool (Array.length instances) (fun i ->
+      let inst = instances.(i) in
+      let o =
+        order ~params ~sizes:inst.sizes ~weights:inst.weights ~edges:inst.edges
+          ~entry:inst.entry ()
+      in
+      let s = score ~params ~sizes:inst.sizes ~edges:inst.edges ~order:o () in
+      (o, s))

@@ -62,5 +62,23 @@ val score_norm :
   ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
 
 (** Number of chain merges performed by the last {!order} call on this
-    domain; exposed for the benches' work accounting. *)
+    domain; exposed for the benches' work accounting. The counter is
+    domain-local, so concurrent {!order_batch} tasks don't race. *)
 val last_merge_count : unit -> int
+
+(** One per-function reordering problem, for the batch entry point. *)
+type instance = {
+  sizes : int array;
+  weights : float array;
+  edges : (int * int * float) list;
+  entry : int;
+}
+
+(** [order_batch ?params ~pool instances] solves every instance across
+    the domain pool and returns [(order, score)] per instance, in input
+    order. Each instance is computed exactly as {!order} + {!score}
+    would sequentially, and results commit in index order, so the
+    output is identical for any pool width (the §3.4 sharding
+    contract). *)
+val order_batch :
+  ?params:params -> pool:Support.Pool.t -> instance array -> (int list * float) array

@@ -7,6 +7,10 @@ let partition ~counts ?(threshold = 0.0) () =
   done;
   { hot = !hot; cold = !cold }
 
+let partition_batch ~pool ?(threshold = 0.0) ~counts () =
+  Support.Pool.map_array pool (Array.length counts) (fun i ->
+      partition ~counts:counts.(i) ~threshold ())
+
 let trampoline_bytes = 16
 
 let call_split_profitable ~cold_bytes ~entry_count ~cold_entry_count =

@@ -20,6 +20,12 @@ type t = {
     [threshold] (default 0) as cold. Block 0 (the entry) is always hot. *)
 val partition : counts:float array -> ?threshold:float -> unit -> t
 
+(** [partition_batch ~pool ?threshold ~counts ()] partitions one count
+    vector per function across the domain pool; results are committed
+    in input order, so the outcome is independent of pool width. *)
+val partition_batch :
+  pool:Support.Pool.t -> ?threshold:float -> counts:float array array -> unit -> t array
+
 (** [call_split_profitable ~cold_bytes ~entry_count ~cold_entry_count]
     implements the call-based splitter's gate: the cold region must be
     big enough to amortise the ~16-byte trampoline and must be entered

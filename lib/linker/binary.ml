@@ -80,3 +80,35 @@ let symbols_sorted t =
   Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) t.symbols []
   |> List.sort (fun (na, aa) (nb, ab) ->
          match compare aa ab with 0 -> String.compare na nb | c -> c)
+
+let kind_tag = function
+  | Objfile.Section.Text -> "text"
+  | Bb_addr_map -> "bbmap"
+  | Eh_frame -> "eh"
+  | Rela -> "rela"
+  | Rodata -> "ro"
+  | Data -> "data"
+  | Debug -> "dbg"
+  | Symtab -> "sym"
+
+let image_digest t =
+  (* Canonical serialization: layout-ordered sections, address-ordered
+     blocks with their final instruction streams, and the sorted symbol
+     table. Two binaries digest equal iff the images an interpreter or
+     disassembler could observe are equal — the byte-identity oracle of
+     the --jobs determinism contract. *)
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "image-v1|%s|entry=%s|text=%d-%d" t.name t.entry_symbol
+    t.text_start t.text_end;
+  List.iter
+    (fun (s : placed) ->
+      Printf.bprintf b "|S%s:%s@%d+%d:%s" (kind_tag s.kind) s.name s.addr s.size
+        (Option.value ~default:"-" s.symbol))
+    t.sections;
+  List.iter
+    (fun (bi : block_info) ->
+      Printf.bprintf b "|B%s#%d@%d+%d" bi.func bi.block bi.addr bi.size;
+      List.iter (fun i -> Printf.bprintf b ";%s" (Isa.to_string i)) bi.insts)
+    (blocks_in_address_order t);
+  List.iter (fun (nm, addr) -> Printf.bprintf b "|Y%s=%d" nm addr) (symbols_sorted t);
+  Support.Digesting.of_string (Buffer.contents b)

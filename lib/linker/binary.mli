@@ -83,3 +83,11 @@ val blocks_in_address_order : t -> block_info list
     ties broken by name — a stable walk of the symbol table for listings
     and diffs. *)
 val symbols_sorted : t -> (string * int) list
+
+(** [image_digest t] is a content digest of the observable image: the
+    placed section list, every block's final address/size/instructions
+    (in address order), and the sorted symbol table. Binaries built from
+    the same inputs digest equal regardless of [uid] or construction
+    order — the byte-identity oracle behind the [--jobs] determinism
+    tests. *)
+val image_digest : t -> Support.Digesting.t

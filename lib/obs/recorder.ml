@@ -19,6 +19,11 @@ let reset t =
 
 let with_span ?args t name f = Trace.with_span ?args t.trace name f
 
+let emit_span ?tid ?args t name ~start ~duration =
+  Trace.complete ?tid ?args t.trace name ~start ~duration
+
+let now t = Clock.now t.clk
+
 let span_args t args = Trace.set_args t.trace args
 
 let advance t dt = Clock.advance t.clk dt

@@ -29,6 +29,21 @@ val reset : t -> unit
 
 val with_span : ?args:(string * Trace.arg) list -> t -> string -> (unit -> 'a) -> 'a
 
+(** [emit_span t name ~start ~duration] forwards to {!Trace.complete}:
+    an externally-timed span, placed on lane [tid] (per-domain fan-out
+    reporting for parallel phases). *)
+val emit_span :
+  ?tid:int ->
+  ?args:(string * Trace.arg) list ->
+  t ->
+  string ->
+  start:float ->
+  duration:float ->
+  unit
+
+(** [now t] is the current simulated time of [t]'s clock. *)
+val now : t -> float
+
 val span_args : t -> (string * Trace.arg) list -> unit
 
 (** [advance t dt] moves simulated time forward by [dt] seconds. *)

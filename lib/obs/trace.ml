@@ -6,6 +6,7 @@ type span = {
   start : float;
   duration : float;
   depth : int;
+  tid : int;
   args : (string * arg) list;
 }
 
@@ -40,10 +41,17 @@ let with_span ?(args = []) t name f =
           start = o.ostart;
           duration = Clock.now t.clk -. o.ostart;
           depth;
+          tid = 1;
           args = o.oargs;
         }
         :: t.completed)
     f
+
+let complete ?(tid = 1) ?(args = []) t name ~start ~duration =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.completed <-
+    { id; name; start; duration; depth = List.length t.stack; tid; args } :: t.completed
 
 let set_args t args =
   match t.stack with
@@ -78,7 +86,7 @@ let span_event s =
       ("ts", Json.Int (usec s.start));
       ("dur", Json.Int (usec s.duration));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int s.tid);
     ]
   in
   let args = ("depth", Json.Int s.depth) :: List.map (fun (k, v) -> (k, arg_json v)) s.args in

@@ -19,6 +19,8 @@ type span = {
   start : float;  (** Simulated seconds at open. *)
   duration : float;  (** Simulated seconds between open and close. *)
   depth : int;  (** Nesting depth; 0 for top-level spans. *)
+  tid : int;  (** Chrome-trace lane; 1 for stack spans, one lane per
+                  pool domain for parallel fan-out spans. *)
   args : (string * arg) list;
 }
 
@@ -32,6 +34,14 @@ val clock : t -> Clock.t
     span when [f] returns (or raises — the span is closed either way,
     so the trace stays well-nested). *)
 val with_span : ?args:(string * arg) list -> t -> string -> (unit -> 'a) -> 'a
+
+(** [complete ?tid ?args t name ~start ~duration] records an
+    already-timed span on lane [tid] (default 1). This is how parallel
+    phases report per-domain fan-out: the coordinator commits one span
+    per worker domain after the batch, keeping the trace deterministic
+    in structure while exposing the concurrency in Perfetto. *)
+val complete :
+  ?tid:int -> ?args:(string * arg) list -> t -> string -> start:float -> duration:float -> unit
 
 (** [set_args t args] appends [args] to the innermost open span (for
     values only known at the end of the work). No-op when no span is

@@ -120,7 +120,13 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
   in
   let wpa, prefetch =
     Obs.Recorder.with_span rec_ "phase:wpa" @@ fun () ->
-    let wpa = Wpa.analyze ~config:config.wpa ~profile ~binary:metadata_build.binary () in
+    Support.Pool.reset_stats env.Buildsys.Driver.pool;
+    let wpa_start = Obs.Recorder.now rec_ in
+    let wpa =
+      Wpa.analyze ~config:config.wpa ~pool:env.Buildsys.Driver.pool
+        ~layout_cache:env.Buildsys.Driver.layout_cache ~profile
+        ~binary:metadata_build.binary ()
+    in
     let prefetch =
       if config.prefetch then
         Some (Prefetch.analyze ~pebs:pebs_profile ~binary:metadata_build.binary ())
@@ -135,9 +141,24 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
         ("dcfg_blocks", Obs.Trace.Int wpa.dcfg_blocks);
         ("dcfg_edges", Obs.Trace.Int wpa.dcfg_edges);
         ("layout_score", Obs.Trace.Float wpa.layout_score);
+        ("layout_cache_hits", Obs.Trace.Int wpa.layout_cache_hits);
+        ("layout_cache_misses", Obs.Trace.Int wpa.layout_cache_misses);
       ];
     Obs.Recorder.set_gauge rec_ "pipeline.wpa.layout_score" wpa.layout_score;
     Obs.Recorder.set_gauge rec_ "pipeline.wpa.hot_funcs" (float_of_int wpa.hot_funcs);
+    Obs.Recorder.add_counter rec_ "wpa.layout_cache.hits" wpa.layout_cache_hits;
+    Obs.Recorder.add_counter rec_ "wpa.layout_cache.misses" wpa.layout_cache_misses;
+    Obs.Recorder.add_counter rec_ "wpa.layout_cache.evictions" wpa.layout_cache_evictions;
+    (* One lane per pool domain that ran layout tasks this phase, laid
+       over the wpa span's simulated-time extent. *)
+    let st = Support.Pool.stats env.Buildsys.Driver.pool in
+    Array.iteri
+      (fun w tasks ->
+        if tasks > 0 then
+          Obs.Recorder.emit_span rec_ "wpa:domain" ~tid:(2 + w) ~start:wpa_start
+            ~duration:wpa.cpu_seconds
+            ~args:[ ("domain", Obs.Trace.Int w); ("tasks", Obs.Trace.Int tasks) ])
+      st.tasks_per_worker;
     (wpa, prefetch)
   in
   (* Phase 4: regenerate hot objects, reuse cold ones, relink. *)

@@ -26,21 +26,37 @@ type result = {
   layout_score : float;
   peak_mem_bytes : int;
   cpu_seconds : float;
+  layout_cache_hits : int;
+  layout_cache_misses : int;
+  layout_cache_evictions : int;
 }
 
-(* Ext-TSP over one function's sampled blocks. Returns the hot block
-   order and the layout score; shared by Propeller's WPA and the BOLT
-   baseline (its cache+ algorithm is the same objective). *)
-let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
-    (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
-  let hot_bbs =
-    Hashtbl.fold
-      (fun bb (b : Dcfg.mblock) acc -> if b.count > split_threshold then bb :: acc else acc)
-      d.dblocks []
+(* The sampled block universe of one function: sorted block ids (entry
+   always included) and their execution counts, the input to hot/cold
+   partitioning. *)
+let layout_prelude (d : Dcfg.dfunc) =
+  let bbs =
+    (0 :: Hashtbl.fold (fun bb _ acc -> bb :: acc) d.dblocks [])
     |> List.sort_uniq compare
   in
-  let hot_bbs = if List.mem 0 hot_bbs then hot_bbs else 0 :: hot_bbs in
-  let hot_arr = Array.of_list hot_bbs in
+  let bb_arr = Array.of_list bbs in
+  let counts =
+    Array.map
+      (fun bb ->
+        match Hashtbl.find_opt d.dblocks bb with
+        | Some (b : Dcfg.mblock) -> float_of_int b.count
+        | None -> 0.0)
+      bb_arr
+  in
+  (bb_arr, counts)
+
+(* Turn a hot/cold partition into the function's Ext-TSP instance over
+   its hot blocks (sizes from the address map, edges restricted to the
+   hot set). Returns the hot block ids alongside, for mapping the
+   instance-index order back to block ids. *)
+let layout_instance (dcfg : Dcfg.t) (d : Dcfg.dfunc) bb_arr
+    (part : Layout.Split.t) =
+  let hot_arr = Array.of_list (List.map (fun i -> bb_arr.(i)) part.hot) in
   let idx_of = Hashtbl.create 16 in
   Array.iteri (fun i bb -> Hashtbl.replace idx_of bb i) hot_arr;
   let sizes =
@@ -52,7 +68,7 @@ let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
     Array.map
       (fun bb ->
         match Hashtbl.find_opt d.dblocks bb with
-        | Some b -> float_of_int b.count
+        | Some (b : Dcfg.mblock) -> float_of_int b.count
         | None -> 0.0)
       hot_arr
   in
@@ -66,17 +82,28 @@ let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
     |> List.sort compare
   in
   let entry = Hashtbl.find idx_of 0 in
-  let order = Layout.Exttsp.order ~params ~sizes ~weights ~edges ~entry () in
-  let score = Layout.Exttsp.score ~params ~sizes ~edges ~order () in
+  (hot_arr, { Layout.Exttsp.sizes; weights; edges; entry })
+
+(* Ext-TSP over one function's sampled blocks. Returns the hot block
+   order and the layout score; shared by Propeller's WPA and the BOLT
+   baseline (its cache+ algorithm is the same objective). *)
+let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
+    (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
+  let bb_arr, counts = layout_prelude d in
+  let part =
+    Layout.Split.partition ~counts ~threshold:(float_of_int split_threshold) ()
+  in
+  let hot_arr, inst = layout_instance dcfg d bb_arr part in
+  let order =
+    Layout.Exttsp.order ~params ~sizes:inst.sizes ~weights:inst.weights
+      ~edges:inst.edges ~entry:inst.entry ()
+  in
+  let score = Layout.Exttsp.score ~params ~sizes:inst.sizes ~edges:inst.edges ~order () in
   (List.map (fun i -> hot_arr.(i)) order, score)
 
-(* Intra-function plan: Ext-TSP over the function's sampled blocks; the
+(* Wrap a hot-block order into the function's cluster directive; the
    cold remainder becomes the implicit .cold cluster in codegen. *)
-let intra_plan config (dcfg : Dcfg.t) (d : Dcfg.dfunc) score_acc =
-  let ordered_bbs, score =
-    block_layout ~params:config.exttsp ~split_threshold:config.split_threshold dcfg d
-  in
-  score_acc := !score_acc +. score;
+let plan_of_order config (dcfg : Dcfg.t) (d : Dcfg.dfunc) ordered_bbs =
   if config.split_functions then
     {
       Codegen.Directive.func = d.dname;
@@ -102,7 +129,49 @@ let intra_plan config (dcfg : Dcfg.t) (d : Dcfg.dfunc) score_acc =
     }
   end
 
-let analyze ?(config = default_config) ~profile ~(binary : Linker.Binary.t) () =
+(* Content-addressed key of one function's layout problem: everything
+   [plan_of_order (block_layout ...)] can read — the function's sampled
+   counts and edges, its block shapes from the address map, and the
+   layout configuration. Warm relinks whose profile deltas miss this
+   function reuse the cached (plan, score) verbatim. *)
+let layout_key config (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
+  let b = Buffer.create 256 in
+  let p = config.exttsp in
+  Buffer.add_string b "layout-v1|";
+  Buffer.add_string b d.dname;
+  Printf.bprintf b "|fw=%d|bw=%d|ftw=%h|fww=%h|bww=%h|msc=%d|pq=%b|thr=%d|split=%b"
+    p.forward_window p.backward_window p.fallthrough_weight p.forward_weight
+    p.backward_weight p.max_split_chain p.use_pqueue config.split_threshold
+    config.split_functions;
+  let owned = ref [] in
+  Array.iter
+    (fun (blk : Dcfg.mblock) ->
+      if String.equal blk.owner d.dname then owned := (blk.bb, blk.msize) :: !owned)
+    dcfg.block_index;
+  List.iter
+    (fun (bb, sz) -> Printf.bprintf b "|b%d:%d" bb sz)
+    (List.sort compare !owned);
+  let sampled =
+    Hashtbl.fold (fun bb (blk : Dcfg.mblock) acc -> (bb, blk.count) :: acc) d.dblocks []
+    |> List.sort compare
+  in
+  List.iter (fun (bb, c) -> Printf.bprintf b "|c%d:%d" bb c) sampled;
+  let edges =
+    Hashtbl.fold (fun (s, t) r acc -> (s, t, !r) :: acc) d.dedges []
+    |> List.sort compare
+  in
+  List.iter (fun (s, t, w) -> Printf.bprintf b "|e%d>%d:%d" s t w) edges;
+  Support.Digesting.of_string (Buffer.contents b)
+
+let analyze ?(config = default_config) ?pool ?layout_cache ~profile
+    ~(binary : Linker.Binary.t) () =
+  let pool = match pool with Some p -> p | None -> Support.Pool.global () in
+  let cache_snapshot () =
+    match layout_cache with
+    | Some c -> Buildsys.Cache.(hits c, misses c, evictions c)
+    | None -> (0, 0, 0)
+  in
+  let h0, m0, e0 = cache_snapshot () in
   let dcfg = Dcfg.build ~profile ~binary in
   let hot = Dcfg.hot_funcs dcfg in
   let dcfg_blocks = Dcfg.num_blocks dcfg in
@@ -111,9 +180,76 @@ let analyze ?(config = default_config) ~profile ~(binary : Linker.Binary.t) () =
   let plans, ordering =
     match config.mode with
     | Intra ->
-      let plans = List.map (fun d -> intra_plan config dcfg d score) hot in
+      (* Per-function layout, cached and parallel. The sequential
+         skeleton (cache lookups, result commits, score accumulation)
+         walks hot functions in dcfg order; only the pure per-function
+         work — hot/cold partitioning and Ext-TSP — fans out on the
+         pool. All floats are summed in the same order for any jobs
+         width, so layout_score is bit-identical. *)
+      let funcs = Array.of_list hot in
+      let n = Array.length funcs in
+      let keys = Array.map (fun d -> layout_key config dcfg d) funcs in
+      let cached =
+        Array.map
+          (fun key ->
+            match layout_cache with
+            | Some c -> Buildsys.Cache.find c key
+            | None -> None)
+          keys
+      in
+      let miss_idx =
+        Array.to_list (Array.init n Fun.id)
+        |> List.filter (fun i -> Option.is_none cached.(i))
+        |> Array.of_list
+      in
+      let preludes = Array.map (fun i -> layout_prelude funcs.(i)) miss_idx in
+      let parts =
+        Layout.Split.partition_batch ~pool
+          ~threshold:(float_of_int config.split_threshold)
+          ~counts:(Array.map snd preludes) ()
+      in
+      let hot_and_insts =
+        Array.init (Array.length miss_idx) (fun j ->
+            layout_instance dcfg funcs.(miss_idx.(j)) (fst preludes.(j)) parts.(j))
+      in
+      let solved =
+        Layout.Exttsp.order_batch ~params:config.exttsp ~pool
+          (Array.map snd hot_and_insts)
+      in
+      let computed =
+        Array.init (Array.length miss_idx) (fun j ->
+            let hot_arr, _ = hot_and_insts.(j) in
+            let order, s = solved.(j) in
+            let d = funcs.(miss_idx.(j)) in
+            (plan_of_order config dcfg d (List.map (fun i -> hot_arr.(i)) order), s))
+      in
+      (* Commit pass in hot-function order: store fresh results, sum
+         scores, emit plans. *)
+      let next_miss = ref 0 in
+      let plans =
+        Array.to_list
+          (Array.init n (fun i ->
+               let plan, s =
+                 match cached.(i) with
+                 | Some v -> v
+                 | None ->
+                   let j = !next_miss in
+                   incr next_miss;
+                   let v = computed.(j) in
+                   (match layout_cache with
+                   | Some c ->
+                     Buildsys.Cache.add c keys.(i)
+                       ~size:(fun (p, _) ->
+                         String.length (Codegen.Directive.to_text [ p ]) + 8)
+                       v
+                   | None -> ());
+                   v
+               in
+               score := !score +. s;
+               plan))
+      in
       (* Global function order: C3 over the hot call graph. *)
-      let hot_names = Array.of_list (List.map (fun (d : Dcfg.dfunc) -> d.dname) hot) in
+      let hot_names = Array.map (fun (d : Dcfg.dfunc) -> d.dname) funcs in
       let name_idx = Hashtbl.create 64 in
       Array.iteri (fun i nm -> Hashtbl.replace name_idx nm i) hot_names;
       let fsizes =
@@ -150,6 +286,7 @@ let analyze ?(config = default_config) ~profile ~(binary : Linker.Binary.t) () =
       score := r.score;
       (r.plans, r.ordering)
   in
+  let h1, m1, e1 = cache_snapshot () in
   let profile_bytes = Perfmon.Lbr.raw_bytes Perfmon.Lbr.default_config profile in
   {
     plans;
@@ -163,4 +300,7 @@ let analyze ?(config = default_config) ~profile ~(binary : Linker.Binary.t) () =
       Buildsys.Costmodel.wpa_seconds
         ~profile_edges:(Perfmon.Lbr.distinct_edges profile)
         ~dcfg_blocks;
+    layout_cache_hits = h1 - h0;
+    layout_cache_misses = m1 - m0;
+    layout_cache_evictions = e1 - e0;
   }

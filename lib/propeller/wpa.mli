@@ -36,6 +36,11 @@ type result = {
   layout_score : float;  (** Total Ext-TSP objective achieved. *)
   peak_mem_bytes : int;  (** Modelled Phase-3 peak RSS (Fig 4). *)
   cpu_seconds : float;  (** Modelled conversion+analysis time. *)
+  layout_cache_hits : int;
+      (** Functions whose (plan, score) came from the relink cache in
+          this call; 0 when no cache was given. *)
+  layout_cache_misses : int;  (** Functions laid out from scratch. *)
+  layout_cache_evictions : int;  (** Entries dropped by capacity. *)
 }
 
 (** [block_layout ?params ?split_threshold dcfg dfunc] computes the
@@ -49,8 +54,28 @@ val block_layout :
   Dcfg.dfunc ->
   int list * float
 
-(** [analyze ?config ~profile ~binary ()] runs the whole-program
-    analysis against a metadata binary (one linked with
-    [keep_bb_addr_map = true]; raises [Invalid_argument] otherwise). *)
+(** [layout_key config dcfg dfunc] is the content-addressed key of one
+    function's layout problem: a digest over the function's sampled
+    counts and edges, its block shapes from the address map, and the
+    layout configuration. Two profiles that agree on a function produce
+    the same key, so warm relinks reuse its cached (plan, score). *)
+val layout_key : config -> Dcfg.t -> Dcfg.dfunc -> Support.Digesting.t
+
+(** [analyze ?config ?pool ?layout_cache ~profile ~binary ()] runs the
+    whole-program analysis against a metadata binary (one linked with
+    [keep_bb_addr_map = true]; raises [Invalid_argument] otherwise).
+
+    Per-function partitioning and Ext-TSP fan out on [pool] (default
+    {!Support.Pool.global}); results commit in deterministic order, so
+    plans, ordering and [layout_score] are identical for any pool
+    width. With [layout_cache], functions whose {!layout_key} is cached
+    skip layout entirely — the incremental-relink fast path — and the
+    result's [layout_cache_*] fields report this call's deltas. *)
 val analyze :
-  ?config:config -> profile:Perfmon.Lbr.profile -> binary:Linker.Binary.t -> unit -> result
+  ?config:config ->
+  ?pool:Support.Pool.t ->
+  ?layout_cache:(Codegen.Directive.func_plan * float) Buildsys.Cache.t ->
+  profile:Perfmon.Lbr.profile ->
+  binary:Linker.Binary.t ->
+  unit ->
+  result

@@ -59,6 +59,29 @@ grep -q "buildsys.cache" "$out_dir/metrics.json" || {
   exit 1
 }
 
+echo "== parallel determinism smoke =="
+# The --jobs contract: the optimized image and the judged metrics are
+# byte-identical at any pool width (traces may differ; they only add
+# per-domain lanes). Run the driver at 4 and 1 and compare.
+for j in 4 1; do
+  dune exec bin/propeller_driver.exe -- \
+    --benchmark 505.mcf --requests 40 --jobs "$j" \
+    --metrics-out "$out_dir/metrics_j$j.json" >"$out_dir/driver_j$j.log"
+done
+digest4=$(grep '^image digest:' "$out_dir/driver_j4.log")
+digest1=$(grep '^image digest:' "$out_dir/driver_j1.log")
+test -n "$digest1" || { echo "FAIL: driver printed no image digest" >&2; exit 1; }
+if [ "$digest4" != "$digest1" ]; then
+  echo "FAIL: image digest differs between --jobs 4 and --jobs 1" >&2
+  echo "  jobs=4: $digest4" >&2
+  echo "  jobs=1: $digest1" >&2
+  exit 1
+fi
+cmp -s "$out_dir/metrics_j4.json" "$out_dir/metrics_j1.json" || {
+  echo "FAIL: metrics JSON differs between --jobs 4 and --jobs 1" >&2
+  exit 1
+}
+
 echo "== propeller_inspect smoke =="
 # Each view must produce JSON that our own Obs.Json parser accepts; the
 # validate subcommand exits non-zero on any parse failure.
@@ -83,7 +106,9 @@ dune exec bin/propeller_inspect.exe -- validate \
 echo "== bench regression gate =="
 # Emit a fresh bench JSON for the small progen workload and diff it
 # against the committed golden baseline; >5% regression fails the check.
-dune exec bench/main.exe -- \
+# --jobs 1 pins the judged metrics to the sequential path (the parallel
+# sweep inside the JSON is informational and not diffed).
+dune exec bench/main.exe -- --jobs 1 \
   --json-out "$out_dir/bench.json" --json-bench 505.mcf --json-requests 40 \
   >"$out_dir/bench.log" 2>&1 || {
   echo "FAIL: bench --json-out run failed" >&2

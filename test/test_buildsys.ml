@@ -32,6 +32,35 @@ let test_cache_reset_stats () =
   let _, hit = Buildsys.Cache.find_or_add c key ~size:String.length (fun () -> "y") in
   check tb "contents kept" true hit
 
+let test_cache_lru_eviction () =
+  let c = Buildsys.Cache.create ~capacity_bytes:10 () in
+  let key s = Support.Digesting.of_string s in
+  let put k v = Buildsys.Cache.add c (key k) ~size:String.length v in
+  put "a" "aaaa";
+  put "b" "bbbb";
+  (* Touch "a" so "b" is the LRU victim when "c" overflows the store. *)
+  check tb "a present" true (Buildsys.Cache.find c (key "a") <> None);
+  put "c" "cccc";
+  check ti "one eviction" 1 (Buildsys.Cache.evictions c);
+  check tb "LRU (b) evicted" false (Buildsys.Cache.mem c (key "b"));
+  check tb "recently-used a survives" true (Buildsys.Cache.mem c (key "a"));
+  check tb "newcomer c survives" true (Buildsys.Cache.mem c (key "c"));
+  check ti "stored bytes tracks survivors" 8 (Buildsys.Cache.stored_bytes c);
+  (* An artifact bigger than the whole capacity still stays: the
+     just-added key is never its own victim. *)
+  put "huge" "xxxxxxxxxxxxxxxxxxxx";
+  check tb "oversized newcomer kept" true (Buildsys.Cache.mem c (key "huge"))
+
+let test_cache_replace_same_key () =
+  let c = Buildsys.Cache.create () in
+  let key = Support.Digesting.of_string "k" in
+  Buildsys.Cache.add c key ~size:String.length "aaaa";
+  Buildsys.Cache.add c key ~size:String.length "bb";
+  check ti "replacement recharges bytes" 2 (Buildsys.Cache.stored_bytes c);
+  check ti "one entry" 1 (Buildsys.Cache.num_entries c);
+  check Alcotest.(option string) "latest value wins" (Some "bb")
+    (Buildsys.Cache.find c key)
+
 (* --- Scheduler ---------------------------------------------------- *)
 
 let action label cpu mem = { Buildsys.Scheduler.label; cpu_seconds = cpu; peak_mem_bytes = mem }
@@ -63,6 +92,28 @@ let test_scheduler_empty () =
   let r = Buildsys.Scheduler.schedule ~workers:8 [] in
   check tb "empty wall" true (r.wall_seconds = 0.0);
   check ti "no actions" 0 r.num_actions
+
+let test_scheduler_critical_path () =
+  let r =
+    Buildsys.Scheduler.schedule ~workers:3
+      [ action "a" 2.0 1; action "b" 7.5 1; action "c" 1.0 1 ]
+  in
+  check tb "critical path = longest action" true
+    (abs_float (Buildsys.Scheduler.critical_path r -. 7.5) < 1e-9);
+  check tb "empty schedule has zero critical path" true
+    (Buildsys.Scheduler.critical_path (Buildsys.Scheduler.schedule ~workers:2 []) = 0.0)
+
+let test_scheduler_plan_memo () =
+  let actions = [ action "m1" 2.0 1; action "m2" 3.0 1; action "m3" 1.0 1 ] in
+  let h0 = Buildsys.Scheduler.plan_memo_hits () in
+  let r1 = Buildsys.Scheduler.schedule ~workers:2 actions in
+  let h1 = Buildsys.Scheduler.plan_memo_hits () in
+  let r2 = Buildsys.Scheduler.schedule ~workers:2 actions in
+  let h2 = Buildsys.Scheduler.plan_memo_hits () in
+  check ti "first plan is a memo miss" h0 h1;
+  check ti "replanning the same actions hits the memo" (h1 + 1) h2;
+  check tb "memoized plan is identical" true (r1.wall_seconds = r2.wall_seconds);
+  check ti "same placements" (List.length r1.placements) (List.length r2.placements)
 
 let scheduler_makespan_law =
   QCheck.Test.make ~count:150 ~name:"makespan bounds (LPT)"
@@ -164,10 +215,14 @@ let suite =
   [
     Alcotest.test_case "cache: hit/miss accounting" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache: reset stats" `Quick test_cache_reset_stats;
+    Alcotest.test_case "cache: LRU eviction under capacity" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache: same-key replacement" `Quick test_cache_replace_same_key;
     Alcotest.test_case "scheduler: single worker" `Quick test_scheduler_single_worker;
     Alcotest.test_case "scheduler: parallel" `Quick test_scheduler_parallel;
     Alcotest.test_case "scheduler: memory limit" `Quick test_scheduler_mem_limit;
     Alcotest.test_case "scheduler: empty" `Quick test_scheduler_empty;
+    Alcotest.test_case "scheduler: critical path" `Quick test_scheduler_critical_path;
+    Alcotest.test_case "scheduler: LPT plan memo" `Quick test_scheduler_plan_memo;
     QCheck_alcotest.to_alcotest scheduler_makespan_law;
     Alcotest.test_case "driver: rebuilds hit cache" `Quick test_build_caches_objects;
     Alcotest.test_case "driver: plans invalidate only their unit" `Quick test_plan_invalidates_only_its_unit;

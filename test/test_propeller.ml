@@ -245,6 +245,71 @@ let test_run_rounds () =
   in
   check tb "round 2 at least as good" true (cycles r2 <= cycles r1 *. 1.01)
 
+(* --- Incremental relink cache -------------------------------------- *)
+
+let test_incremental_layout_cache () =
+  let _, program = medium_program ~seed:23L () in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let _, profile = run_with_profile ~requests:40 program binary in
+  let cache = Buildsys.Cache.create () in
+  let analyze () = Propeller.Wpa.analyze ~layout_cache:cache ~profile ~binary () in
+  let cold = analyze () in
+  check ti "cold run misses every hot function" cold.hot_funcs cold.layout_cache_misses;
+  check ti "cold run has no hits" 0 cold.layout_cache_hits;
+  let warm = analyze () in
+  check ti "warm run all hits" warm.hot_funcs warm.layout_cache_hits;
+  check ti "warm run no misses" 0 warm.layout_cache_misses;
+  check tb "warm plans identical" true (warm.plans = cold.plans);
+  check tb "warm ordering identical" true (warm.ordering = cold.ordering);
+  check tb "warm score identical" true (warm.layout_score = cold.layout_score);
+  (* Perturb exactly one function's profile: find a branch whose source
+     and destination both land in the same hot function and bump its
+     count. Only that function's layout key may change. *)
+  let hot_names =
+    List.map (fun (p : Codegen.Directive.func_plan) -> p.func) cold.plans
+  in
+  let owner addr =
+    match Linker.Binary.find_block_by_addr binary addr with
+    | Some b -> Some b.Linker.Binary.func
+    | None -> None
+  in
+  let victim_branch =
+    Hashtbl.fold
+      (fun (s, d) _ acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match owner s, owner d with
+          | Some fs, Some fd when String.equal fs fd && List.mem fs hot_names ->
+            Some (s, d, fs)
+          | _ -> None))
+      profile.Perfmon.Lbr.branches None
+  in
+  let s, d, victim = Option.get victim_branch in
+  Hashtbl.replace profile.branches (s, d)
+    (Hashtbl.find profile.branches (s, d) + 1000);
+  let dirty = analyze () in
+  check ti "same hot set" cold.hot_funcs dirty.hot_funcs;
+  check ti "exactly the dirtied function misses" 1 dirty.layout_cache_misses;
+  check ti "everything else hits" (cold.hot_funcs - 1) dirty.layout_cache_hits;
+  check tb "victim still planned" true
+    (List.exists (fun (p : Codegen.Directive.func_plan) -> String.equal p.func victim) dirty.plans);
+  (* Warm incremental relink = cold full relink, byte for byte. *)
+  let build env name (wpa : Propeller.Wpa.result) =
+    Buildsys.Driver.build env ~name ~program
+      ~codegen_options:{ Codegen.default_options with emit_bb_addr_map = true; plans = wpa.plans }
+      ~link_options:{ Linker.Link.default_options with ordering = Some wpa.ordering }
+  in
+  let warm_env = Buildsys.Driver.make_env () in
+  ignore (build warm_env "inc.v1" warm);
+  let incr_b = build warm_env "inc.v2" dirty in
+  check tb "incremental relink reuses cached objects" true (incr_b.cache_hits > 0);
+  let cold_b = build (Buildsys.Driver.make_env ()) "inc.v2" dirty in
+  check tb "incremental image = cold relink image" true
+    (Support.Digesting.equal
+       (Linker.Binary.image_digest incr_b.binary)
+       (Linker.Binary.image_digest cold_b.binary))
+
 let test_wpa_resource_model () =
   let _, _, _, result = Lazy.force (fixture) in
   check tb "peak mem positive" true (result.wpa.peak_mem_bytes > 0);
@@ -267,6 +332,7 @@ let suite =
     Alcotest.test_case "pipeline: PM/PO shapes" `Quick test_pipeline_po_binary_shape;
     Alcotest.test_case "pipeline: no perf regression" `Quick test_pipeline_improves_performance;
     Alcotest.test_case "pipeline: phase times" `Quick test_pipeline_phase_times;
+    Alcotest.test_case "wpa: incremental layout cache" `Quick test_incremental_layout_cache;
     Alcotest.test_case "wpa: resource model" `Quick test_wpa_resource_model;
     Alcotest.test_case "pipeline: multi-round" `Slow test_run_rounds;
   ]
