@@ -8,8 +8,12 @@
    bytes of the base/pm/po images, from Inspect.Size).
    v3: per-benchmark "parallel" object — the --jobs sweep (measured
    wall-clock, so NOT byte-stable run to run) plus relink-cache hit
-   rates. Informational only: Compare's judged allowlist ignores it. *)
-let schema_version = 3
+   rates. Informational only: Compare's judged allowlist ignores it.
+   v4: per-benchmark "resilience" object — a seeded fault-injection
+   replay (retry/degradation counts, replay consistency, and the
+   degraded=0 => fault-free-digest invariant). Informational only and
+   fully deterministic. *)
+let schema_version = 4
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -24,7 +28,9 @@ let counters_json (c : Uarch.Core.counters) =
 let sweep_point ~config ~program ~(spec : Progen.Spec.t) jobs =
   Support.Pool.with_pool ~jobs (fun pool ->
       let recorder = Obs.Recorder.create () in
-      let env = Buildsys.Driver.make_env ~recorder ~pool () in
+      let env =
+        Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ~pool ()) ()
+      in
       let t0 = Unix.gettimeofday () in
       let cold = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
       let t1 = Unix.gettimeofday () in
@@ -93,6 +99,79 @@ let parallel_json (spec : Progen.Spec.t) ~jobs_sweep =
            ("digests_consistent", Obs.Json.Bool consistent);
          ])
 
+(* The canonical fault plan of a benchmark's resilience drill: rates
+   high enough that every fault class fires on small programs, seeded
+   from the benchmark's own seed so the drill is stable run to run. *)
+let fault_plan (spec : Progen.Spec.t) =
+  match
+    Faultsim.Plan.of_spec
+      (Printf.sprintf
+         "seed=%d,action=0.2,persist=0.1,straggle=0.1,corrupt=0.15,shard-drop=0.1"
+         (Int64.to_int spec.seed land 0xffff))
+  with
+  | Ok p -> p
+  | Error e -> failwith ("Jsonout.fault_plan: " ^ e)
+
+let add_faults (a : Buildsys.Driver.fault_stats) (b : Buildsys.Driver.fault_stats) =
+  {
+    Buildsys.Driver.injected = a.injected + b.injected;
+    retried = a.retried + b.retried;
+    degraded = a.degraded + b.degraded;
+    fallbacks = a.fallbacks + b.fallbacks;
+    corrupt_evicted = a.corrupt_evicted + b.corrupt_evicted;
+    stragglers = a.stragglers + b.stragglers;
+    speculated = a.speculated + b.speculated;
+    backoff_seconds = a.backoff_seconds +. b.backoff_seconds;
+  }
+
+(* One pipeline run on a fresh env, optionally under a fault plan. *)
+let faulted_run ~config ~program ~(spec : Progen.Spec.t) plan =
+  Support.Pool.with_pool ~jobs:1 (fun pool ->
+      let recorder = Obs.Recorder.create () in
+      let ctx = Support.Ctx.create ~recorder ~pool ?faults:plan () in
+      let env = Buildsys.Driver.make_env ~ctx () in
+      let r = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+      let digest =
+        Support.Digesting.to_hex
+          (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary r))
+      in
+      (digest, r))
+
+(* The resilience drill: a fault-free reference run, then the same
+   input twice under the canonical plan. Everything in the emitted
+   object is deterministic (counts and digests, no wall clock), so the
+   bench file stays byte-stable. Informational only: Compare's judged
+   allowlist ignores it. *)
+let resilience_json (spec : Progen.Spec.t) =
+  let program = Codegen.Inline.program (Progen.Generate.program spec) in
+  let config = Workbench.pipeline_config spec in
+  let plan = fault_plan spec in
+  let clean_digest, _ = faulted_run ~config ~program ~spec None in
+  let d1, r1 = faulted_run ~config ~program ~spec (Some plan) in
+  let d2, _ = faulted_run ~config ~program ~spec (Some plan) in
+  let f = add_faults r1.metadata_build.faults r1.optimized_build.faults in
+  let degraded_total = f.degraded + r1.wpa.dropped_hot_funcs in
+  Obs.Json.Obj
+    [
+      ("plan", Obs.Json.String (Faultsim.Plan.to_spec plan));
+      ("injected", Obs.Json.Int (f.injected + r1.wpa.shards_dropped));
+      ("retried", Obs.Json.Int f.retried);
+      ("degraded", Obs.Json.Int degraded_total);
+      ("fallback_objects", Obs.Json.Int f.fallbacks);
+      ("cache_corrupt_evicted", Obs.Json.Int f.corrupt_evicted);
+      ("stragglers", Obs.Json.Int f.stragglers);
+      ("speculated", Obs.Json.Int f.speculated);
+      ("shards_dropped", Obs.Json.Int r1.wpa.shards_dropped);
+      ("dropped_hot_funcs", Obs.Json.Int r1.wpa.dropped_hot_funcs);
+      ("backoff_seconds", Obs.Json.Float f.backoff_seconds);
+      ("replay_consistent", Obs.Json.Bool (String.equal d1 d2));
+      ("image_digest", Obs.Json.String d1);
+      ("fault_free_digest", Obs.Json.String clean_digest);
+      ("matches_fault_free", Obs.Json.Bool (String.equal d1 clean_digest));
+      ( "degradation_free_invariant_ok",
+        Obs.Json.Bool (degraded_total > 0 || String.equal d1 clean_digest) );
+    ]
+
 let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
   let wb = Workbench.get spec in
   let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
@@ -131,6 +210,7 @@ let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
         ( "counters",
           Obs.Json.Obj
             [ ("base", counters_json base); ("propeller", counters_json prop) ] );
+        ("resilience", resilience_json spec);
       ]
       @
       match parallel_json spec ~jobs_sweep with

@@ -1,0 +1,169 @@
+(* Shared CLI plumbing for the propeller tools.
+
+   Every executable in bin/ parses --jobs, --seed, --faults, --trace
+   and --metrics-out through the terms below, so the flags spell and
+   behave identically across propeller_driver, propeller_stat and
+   propeller_inspect; benchmark lookup, output writing and recorder
+   export share one implementation instead of three copies. *)
+
+open Cmdliner
+
+let jobs_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain pool width for per-function/per-unit fan-out (default \
+           \\$(b,PROPELLER_JOBS) or 1). Outputs are byte-identical for any N.")
+
+let seed_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Override the fault plan's seed (see $(b,--faults)). The same seed and plan \
+           replay the same faults, byte-identically. Inert without $(b,--faults).")
+
+let faults_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Arm seeded fault injection. $(docv) is a comma-separated key=value spec, e.g. \
+           $(b,seed=7,action=0.2,corrupt=0.1,straggle=0.1,shard-drop=0.05). Keys: seed, \
+           action, persist, straggle, straggle-factor, corrupt, shard-drop, shards, \
+           attempts, backoff, backoff-mult.")
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing).")
+
+let metrics_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the metrics report as JSON to $(docv).")
+
+let benchmark_term =
+  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
+
+let requests_term =
+  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
+
+(* The five shared flags bundled, for tools whose subcommands all take
+   them (propeller_inspect). *)
+type common = {
+  jobs : int option;
+  seed : int option;
+  faults : string option;
+  trace : string option;
+  metrics_out : string option;
+}
+
+let common_term =
+  let make jobs seed faults trace metrics_out = { jobs; seed; faults; trace; metrics_out } in
+  Term.(const make $ jobs_term $ seed_term $ faults_term $ trace_term $ metrics_out_term)
+
+let write_file file contents =
+  match open_out file with
+  | oc ->
+    output_string oc contents;
+    close_out oc
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" file msg;
+    exit 1
+
+(* Resolve a benchmark name (exit 2 with the known list on a miss) and
+   apply the --requests override. *)
+let lookup_spec ~benchmark ~requests =
+  match Progen.Suite.by_name benchmark with
+  | None ->
+    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
+      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
+    exit 2
+  | Some spec -> (
+    match requests with
+    | Some r -> { spec with Progen.Spec.requests = r }
+    | None -> spec)
+
+(* Turn the shared flags into the run's execution context: validate and
+   apply --jobs to the global pool, parse --faults (exit 2 on a bad
+   spec), and let --seed override the plan's seed. *)
+let context ?(jobs = None) ?(seed = None) ?(faults = None) () =
+  (match jobs with
+  | Some j when j < 1 ->
+    Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
+    exit 2
+  | Some j -> Support.Pool.set_default_jobs j
+  | None -> ());
+  let plan =
+    match faults with
+    | None -> None
+    | Some spec -> (
+      match Faultsim.Plan.of_spec spec with
+      | Error e ->
+        Printf.eprintf "--faults: %s\n" e;
+        exit 2
+      | Ok p -> (
+        match seed with
+        | Some s -> Some { p with Faultsim.Plan.seed = s }
+        | None -> Some p))
+  in
+  Support.Ctx.create ?faults:plan ()
+
+let context_of_common c = context ~jobs:c.jobs ~seed:c.seed ~faults:c.faults ()
+
+(* Export the run's recorder as the shared flags request. The trace is
+   re-parsed with our own JSON parser before it leaves the tool, so the
+   smoke scripts need no external JSON tooling. *)
+let export_recorder recorder ~trace ~metrics_out =
+  (match trace with
+  | None -> ()
+  | Some file ->
+    let contents = Obs.Recorder.trace_json recorder in
+    write_file file contents;
+    (match Obs.Json.parse contents with
+    | Ok _ ->
+      Printf.printf "trace: %d events -> %s (valid JSON)\n"
+        (Obs.Trace.num_events (Obs.Recorder.trace recorder))
+        file
+    | Error e ->
+      Printf.eprintf "trace: INVALID JSON written to %s: %s\n" file e;
+      exit 1));
+  match metrics_out with
+  | None -> ()
+  | Some file ->
+    write_file file (Obs.Recorder.metrics_json recorder);
+    Printf.printf "metrics: %s\n" file
+
+(* Sum the fault accounting of several builds (a pipeline run holds a
+   metadata build and an optimized build). *)
+let sum_fault_stats (a : Buildsys.Driver.fault_stats) (b : Buildsys.Driver.fault_stats) =
+  {
+    Buildsys.Driver.injected = a.injected + b.injected;
+    retried = a.retried + b.retried;
+    degraded = a.degraded + b.degraded;
+    fallbacks = a.fallbacks + b.fallbacks;
+    corrupt_evicted = a.corrupt_evicted + b.corrupt_evicted;
+    stragglers = a.stragglers + b.stragglers;
+    speculated = a.speculated + b.speculated;
+    backoff_seconds = a.backoff_seconds +. b.backoff_seconds;
+  }
+
+(* One-line resilience summary of a build's fault accounting; printed
+   only when a plan was armed so fault-free output stays unchanged. *)
+let resilience_line (f : Buildsys.Driver.fault_stats) ~shards_dropped ~dropped_hot_funcs =
+  Printf.sprintf
+    "resilience: %d injected (%d retried, %d cache-corrupt, %d stragglers/%d speculated, %d \
+     shards dropped), %d degraded (%d fallback objects, %d hot funcs on baseline layout)"
+    (f.Buildsys.Driver.injected + shards_dropped)
+    f.Buildsys.Driver.retried f.Buildsys.Driver.corrupt_evicted f.Buildsys.Driver.stragglers
+    f.Buildsys.Driver.speculated shards_dropped
+    (f.Buildsys.Driver.degraded + dropped_hot_funcs)
+    f.Buildsys.Driver.fallbacks dropped_hot_funcs

@@ -1,130 +1,93 @@
 (* propeller_driver: run the full Propeller pipeline on a named
    benchmark and report sizes, phase costs and simulated performance.
 
-   dune exec bin/propeller_driver.exe -- --benchmark clang --requests 200 *)
+   dune exec bin/propeller_driver.exe -- --benchmark clang --requests 200
+   dune exec bin/propeller_driver.exe -- -b 505.mcf --faults seed=7,action=0.2 *)
 
 open Cmdliner
 
-let run benchmark requests interproc no_split hugepages prefetch jobs verbose trace_file
-    metrics metrics_out =
-  (match jobs with
-  | Some j when j < 1 ->
-    Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
-    exit 2
-  | Some j -> Support.Pool.set_default_jobs j
+let run benchmark requests interproc no_split hugepages prefetch jobs seed faults verbose
+    trace_file metrics metrics_out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults () in
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  Printf.printf "generating %s (scale %d:1)...\n%!" spec.name spec.scale;
+  let program = Progen.Generate.program spec in
+  Printf.printf "  %d funcs, %d blocks, %d code bytes\n%!" (Ir.Program.num_funcs program)
+    (Ir.Program.num_blocks program) (Ir.Program.code_bytes program);
+  let env = Buildsys.Driver.make_env ~ctx () in
+  let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
+  let config =
+    {
+      Propeller.Pipeline.default_config with
+      profile_run = { Exec.Interp.default_config with requests = spec.requests };
+      hugepages = hugepages || spec.hugepages;
+      prefetch;
+      wpa =
+        {
+          Propeller.Wpa.default_config with
+          mode = (if interproc then Propeller.Wpa.Interproc else Propeller.Wpa.Intra);
+          split_functions = not no_split;
+        };
+    }
+  in
+  let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+  Printf.printf "phase 2 (metadata build): %.1fs wall\n" result.times.metadata_build_s;
+  Printf.printf "phase 3 (profile + WPA): %d samples, %d hot funcs, %.1fs, peak %.2f GB\n"
+    result.profile.num_samples result.wpa.hot_funcs result.times.conversion_s
+    (float_of_int result.wpa.peak_mem_bytes /. 1.0e9);
+  Printf.printf "phase 4 (relink): %d/%d objects re-generated, %.1fs wall\n"
+    result.hot_objects result.total_objects result.times.optimize_build_s;
+  Printf.printf "layout cache: %d hits, %d misses (jobs=%d)\n"
+    result.wpa.layout_cache_hits result.wpa.layout_cache_misses
+    (Support.Pool.jobs (Buildsys.Driver.pool env));
+  Printf.printf "image digest: %s\n"
+    (Support.Digesting.to_hex
+       (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary result)));
+  if Support.Ctx.faults_active ctx then
+    print_endline
+      (Cli_common.resilience_line
+         (Cli_common.sum_fault_stats result.metadata_build.faults
+            result.optimized_build.faults)
+         ~shards_dropped:result.wpa.shards_dropped
+         ~dropped_hot_funcs:result.wpa.dropped_hot_funcs);
+  (match result.prefetch with
+  | Some p ->
+    Printf.printf "prefetch (3.5): %d insertion sites covering %d/%d sampled misses\n"
+      (List.length p.sites) p.covered_misses p.sampled_misses
   | None -> ());
-  match Progen.Suite.by_name benchmark with
-  | None ->
-    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
-      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
-    exit 2
-  | Some spec ->
-    let spec = match requests with Some r -> { spec with Progen.Spec.requests = r } | None -> spec in
-    Printf.printf "generating %s (scale %d:1)...\n%!" spec.name spec.scale;
-    let program = Progen.Generate.program spec in
-    Printf.printf "  %d funcs, %d blocks, %d code bytes\n%!" (Ir.Program.num_funcs program)
-      (Ir.Program.num_blocks program) (Ir.Program.code_bytes program);
-    let env = Buildsys.Driver.make_env () in
-    let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
-    let config =
-      {
-        Propeller.Pipeline.default_config with
-        profile_run = { Exec.Interp.default_config with requests = spec.requests };
-        hugepages = hugepages || spec.hugepages;
-        prefetch;
-        wpa =
-          {
-            Propeller.Wpa.default_config with
-            mode = (if interproc then Propeller.Wpa.Interproc else Propeller.Wpa.Intra);
-            split_functions = not no_split;
-          };
-      }
+  if verbose then begin
+    print_endline "--- cc_prof.txt ---";
+    print_string (Codegen.Directive.to_text result.wpa.plans);
+    print_endline "--- ld_prof.txt ---";
+    List.iter print_endline result.wpa.ordering
+  end;
+  let measure run_name binary =
+    let image = Exec.Image.build program binary in
+    let core =
+      Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
     in
-    let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
-    Printf.printf "phase 2 (metadata build): %.1fs wall\n" result.times.metadata_build_s;
-    Printf.printf "phase 3 (profile + WPA): %d samples, %d hot funcs, %.1fs, peak %.2f GB\n"
-      result.profile.num_samples result.wpa.hot_funcs result.times.conversion_s
-      (float_of_int result.wpa.peak_mem_bytes /. 1.0e9);
-    Printf.printf "phase 4 (relink): %d/%d objects re-generated, %.1fs wall\n"
-      result.hot_objects result.total_objects result.times.optimize_build_s;
-    Printf.printf "layout cache: %d hits, %d misses (jobs=%d)\n"
-      result.wpa.layout_cache_hits result.wpa.layout_cache_misses
-      (Support.Pool.jobs env.Buildsys.Driver.pool);
-    Printf.printf "image digest: %s\n"
-      (Support.Digesting.to_hex
-         (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary result)));
-    (match result.prefetch with
-    | Some p ->
-      Printf.printf "prefetch (3.5): %d insertion sites covering %d/%d sampled misses\n"
-        (List.length p.sites) p.covered_misses p.sampled_misses
-    | None -> ());
-    if verbose then begin
-      print_endline "--- cc_prof.txt ---";
-      print_string (Codegen.Directive.to_text result.wpa.plans);
-      print_endline "--- ld_prof.txt ---";
-      List.iter print_endline result.wpa.ordering
-    end;
-    let measure run_name binary =
-      let image = Exec.Image.build program binary in
-      let core =
-        Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
-      in
-      let (_ : Exec.Interp.stats) =
-        Exec.Interp.run image
-          { Exec.Interp.default_config with requests = spec.requests }
-          (Uarch.Core.sink core)
-      in
-      Uarch.Core.publish ~recorder:env.Buildsys.Driver.recorder ~name:run_name core;
-      Uarch.Core.counters core
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image
+        { Exec.Interp.default_config with requests = spec.requests }
+        (Uarch.Core.sink core)
     in
-    let cb = measure "base" base.binary in
-    let cp = measure "propeller" (Propeller.Pipeline.optimized_binary result) in
-    Printf.printf "performance: baseline %.3e cycles -> propeller %.3e cycles (%+.2f%%)\n"
-      cb.cycles cp.cycles
-      ((cb.cycles -. cp.cycles) /. cb.cycles *. 100.0);
-    Printf.printf "counters vs baseline: L1i %+.0f%%  iTLB %+.0f%%  taken-branches %+.0f%%\n"
-      (Support.Stats.ratio_pct (float_of_int cp.i1_l1i_miss) (float_of_int cb.i1_l1i_miss))
-      (Support.Stats.ratio_pct (float_of_int cp.t1_itlb_miss) (float_of_int cb.t1_itlb_miss))
-      (Support.Stats.ratio_pct
-         (float_of_int cp.b2_taken_branches)
-         (float_of_int cb.b2_taken_branches));
-    let recorder = env.Buildsys.Driver.recorder in
-    let write_file file contents =
-      match open_out file with
-      | oc ->
-        output_string oc contents;
-        close_out oc
-      | exception Sys_error msg ->
-        Printf.eprintf "cannot write %s: %s\n" file msg;
-        exit 1
-    in
-    (match trace_file with
-    | None -> ()
-    | Some file ->
-      let contents = Obs.Recorder.trace_json recorder in
-      write_file file contents;
-      (* Validate what we just wrote with our own parser, so the smoke
-         script needs no external JSON tooling. *)
-      (match Obs.Json.parse contents with
-      | Ok _ ->
-        Printf.printf "trace: %d events -> %s (valid JSON)\n"
-          (Obs.Trace.num_events (Obs.Recorder.trace recorder))
-          file
-      | Error e ->
-        Printf.eprintf "trace: INVALID JSON written to %s: %s\n" file e;
-        exit 1));
-    if metrics then print_string (Obs.Recorder.metrics_report recorder);
-    match metrics_out with
-    | None -> ()
-    | Some file ->
-      write_file file (Obs.Recorder.metrics_json recorder);
-      Printf.printf "metrics: %s\n" file
-
-let benchmark =
-  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
-
-let requests =
-  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests.")
+    Uarch.Core.publish ~ctx ~name:run_name core;
+    Uarch.Core.counters core
+  in
+  let cb = measure "base" base.binary in
+  let cp = measure "propeller" (Propeller.Pipeline.optimized_binary result) in
+  Printf.printf "performance: baseline %.3e cycles -> propeller %.3e cycles (%+.2f%%)\n"
+    cb.cycles cp.cycles
+    ((cb.cycles -. cp.cycles) /. cb.cycles *. 100.0);
+  Printf.printf "counters vs baseline: L1i %+.0f%%  iTLB %+.0f%%  taken-branches %+.0f%%\n"
+    (Support.Stats.ratio_pct (float_of_int cp.i1_l1i_miss) (float_of_int cb.i1_l1i_miss))
+    (Support.Stats.ratio_pct (float_of_int cp.t1_itlb_miss) (float_of_int cb.t1_itlb_miss))
+    (Support.Stats.ratio_pct
+       (float_of_int cp.b2_taken_branches)
+       (float_of_int cb.b2_taken_branches));
+  let recorder = Buildsys.Driver.recorder env in
+  if metrics then print_string (Obs.Recorder.metrics_report recorder);
+  Cli_common.export_recorder recorder ~trace:trace_file ~metrics_out
 
 let interproc =
   Arg.(value & flag & info [ "interproc" ] ~doc:"Inter-procedural layout (paper 4.7).")
@@ -136,38 +99,18 @@ let hugepages = Arg.(value & flag & info [ "hugepages" ] ~doc:"Map text with 2M 
 let prefetch =
   Arg.(value & flag & info [ "prefetch" ] ~doc:"Software prefetch insertion (paper 3.5).")
 
-let jobs =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Domain pool width for per-function/per-unit fan-out (default \
-           \\$(b,PROPELLER_JOBS) or 1). Outputs are byte-identical for any N.")
-
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump cc_prof/ld_prof.")
-
-let trace_file =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Write a Chrome trace-event JSON of the run (load in Perfetto / chrome://tracing).")
 
 let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics report (counters/gauges/histograms).")
-
-let metrics_out =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the metrics report as JSON to $(docv).")
 
 let cmd =
   Cmd.v
     (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
     Term.(
-      const run $ benchmark $ requests $ interproc $ no_split $ hugepages $ prefetch $ jobs
-      $ verbose $ trace_file $ metrics $ metrics_out)
+      const run $ Cli_common.benchmark_term $ Cli_common.requests_term $ interproc $ no_split
+      $ hugepages $ prefetch $ Cli_common.jobs_term $ Cli_common.seed_term
+      $ Cli_common.faults_term $ verbose $ Cli_common.trace_term $ metrics
+      $ Cli_common.metrics_out_term)
 
 let () = exit (Cmd.eval cmd)

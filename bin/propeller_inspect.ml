@@ -24,35 +24,30 @@ type ctx = {
   po : Linker.Binary.t;
 }
 
-let make_ctx benchmark requests quiet =
-  match Progen.Suite.by_name benchmark with
-  | None ->
-    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
-      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
-    exit 2
-  | Some spec ->
-    let spec =
-      match requests with Some r -> { spec with Progen.Spec.requests = r } | None -> spec
-    in
-    if not quiet then Printf.printf "running pipeline on %s...\n%!" spec.name;
-    let program = Progen.Generate.program spec in
-    let env = Buildsys.Driver.make_env () in
-    let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
-    let config =
-      {
-        Propeller.Pipeline.default_config with
-        profile_run = { Exec.Interp.default_config with requests = spec.requests };
-        hugepages = spec.hugepages;
-      }
-    in
-    let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+let make_ctx benchmark requests (common : Cli_common.common) quiet =
+  let run_ctx = Cli_common.context_of_common common in
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  if not quiet then Printf.printf "running pipeline on %s...\n%!" spec.name;
+  let program = Progen.Generate.program spec in
+  let env = Buildsys.Driver.make_env ~ctx:run_ctx () in
+  let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
+  let config =
     {
-      spec;
-      program;
-      base = base.Buildsys.Driver.binary;
-      pm = result.Propeller.Pipeline.metadata_build.Buildsys.Driver.binary;
-      po = Propeller.Pipeline.optimized_binary result;
+      Propeller.Pipeline.default_config with
+      profile_run = { Exec.Interp.default_config with requests = spec.requests };
+      hugepages = spec.hugepages;
     }
+  in
+  let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+  Cli_common.export_recorder (Buildsys.Driver.recorder env) ~trace:common.trace
+    ~metrics_out:common.metrics_out;
+  {
+    spec;
+    program;
+    base = base.Buildsys.Driver.binary;
+    pm = result.Propeller.Pipeline.metadata_build.Buildsys.Driver.binary;
+    po = Propeller.Pipeline.optimized_binary result;
+  }
 
 let binary_of ctx = function Base -> ctx.base | Pm -> ctx.pm | Po -> ctx.po
 
@@ -69,15 +64,6 @@ let profile_of ctx binary =
   in
   profile
 
-let write_file file contents =
-  match open_out file with
-  | oc ->
-    output_string oc contents;
-    close_out oc
-  | exception Sys_error msg ->
-    Printf.eprintf "cannot write %s: %s\n" file msg;
-    exit 1
-
 (* Every emitted JSON document round-trips through the parser before it
    leaves the tool; a document we cannot re-read is a bug, not output. *)
 let emit ~json ~out ~to_json ~to_text =
@@ -93,11 +79,11 @@ let emit ~json ~out ~to_json ~to_text =
     else to_text ()
   in
   match out with
-  | Some file -> write_file file rendered
+  | Some file -> Cli_common.write_file file rendered
   | None -> print_string rendered
 
-let run_annotate benchmark requests variant func top json out =
-  let ctx = make_ctx benchmark requests (json || out <> None) in
+let run_annotate benchmark requests common variant func top json out =
+  let ctx = make_ctx benchmark requests common (json || out <> None) in
   let binary = binary_of ctx variant in
   let profile = profile_of ctx binary in
   let t = Inspect.Annotate.analyze ~binary ~profile in
@@ -105,15 +91,15 @@ let run_annotate benchmark requests variant func top json out =
     ~to_json:(fun () -> Inspect.Annotate.to_json ?func t)
     ~to_text:(fun () -> Inspect.Annotate.to_text ~top ?func t)
 
-let run_size benchmark requests variant top json out =
-  let ctx = make_ctx benchmark requests (json || out <> None) in
+let run_size benchmark requests common variant top json out =
+  let ctx = make_ctx benchmark requests common (json || out <> None) in
   let t = Inspect.Size.measure (binary_of ctx variant) in
   emit ~json ~out
     ~to_json:(fun () -> Inspect.Size.to_json t)
     ~to_text:(fun () -> Inspect.Size.to_text ~top t)
 
-let run_paths benchmark requests variant max_paths max_len json out =
-  let ctx = make_ctx benchmark requests (json || out <> None) in
+let run_paths benchmark requests common variant max_paths max_len json out =
+  let ctx = make_ctx benchmark requests common (json || out <> None) in
   let binary = binary_of ctx variant in
   let profile = profile_of ctx binary in
   let dcfg = Propeller.Dcfg.build_of_blocks ~profile ~binary in
@@ -122,8 +108,8 @@ let run_paths benchmark requests variant max_paths max_len json out =
     ~to_json:(fun () -> Inspect.Paths.to_json paths)
     ~to_text:(fun () -> Inspect.Paths.to_folded paths)
 
-let run_diff benchmark requests from_v to_v top json out =
-  let ctx = make_ctx benchmark requests (json || out <> None) in
+let run_diff benchmark requests common from_v to_v top json out =
+  let ctx = make_ctx benchmark requests common (json || out <> None) in
   let a = binary_of ctx from_v and b = binary_of ctx to_v in
   let profile = profile_of ctx a in
   let t = Inspect.Diff.compare ~profile a b in
@@ -148,11 +134,11 @@ let run_validate files =
     files;
   if !bad > 0 then exit 1
 
-let benchmark =
-  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
+let benchmark = Cli_common.benchmark_term
 
-let requests =
-  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
+let requests = Cli_common.requests_term
+
+let common = Cli_common.common_term
 
 let variant_conv = Arg.enum [ ("base", Base); ("pm", Pm); ("po", Po) ]
 
@@ -188,7 +174,7 @@ let annotate_cmd =
          "Project LBR samples onto the final layout: per-block counts, taken vs fall-through \
           exits and mispredict rates.")
     Term.(
-      const run_annotate $ benchmark $ requests $ variant $ func
+      const run_annotate $ benchmark $ requests $ common $ variant $ func
       $ top 10 "Hottest functions shown in text mode."
       $ json $ out)
 
@@ -199,7 +185,7 @@ let size_cmd =
          "Bloaty-style byte accounting: per-section and per-function bytes, hot/cold split and \
           metadata overhead (paper Fig 6).")
     Term.(
-      const run_size $ benchmark $ requests $ variant
+      const run_size $ benchmark $ requests $ common $ variant
       $ top 20 "Largest functions shown in text mode."
       $ json $ out)
 
@@ -215,7 +201,9 @@ let paths_cmd =
        ~doc:
          "Reconstruct hot control-flow paths from LBR samples as folded stacks \
           (flamegraph.pl-compatible).")
-    Term.(const run_paths $ benchmark $ requests $ variant $ max_paths $ max_len $ json $ out)
+    Term.(
+      const run_paths $ benchmark $ requests $ common $ variant $ max_paths $ max_len $ json
+      $ out)
 
 let from_variant =
   Arg.(
@@ -233,7 +221,7 @@ let diff_cmd =
          "Compare two linked images: block movement between layouts and hot-branch distance \
           histograms.")
     Term.(
-      const run_diff $ benchmark $ requests $ from_variant $ to_variant
+      const run_diff $ benchmark $ requests $ common $ from_variant $ to_variant
       $ top 10 "Functions with most moved blocks shown in text mode."
       $ json $ out)
 

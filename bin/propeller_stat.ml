@@ -14,7 +14,7 @@ let log2i v =
 
 (* Pressure-preserving measurement, as the bench harness does: TLB pages
    shrink with the program's generation scale (DESIGN.md 6). *)
-let measure ~(spec : Progen.Spec.t) ~recorder ~run_name program binary =
+let measure ~(spec : Progen.Spec.t) ~ctx ~run_name program binary =
   let image = Exec.Image.build program binary in
   let core =
     Uarch.Core.create
@@ -29,37 +29,16 @@ let measure ~(spec : Progen.Spec.t) ~recorder ~run_name program binary =
       { Exec.Interp.default_config with requests = spec.requests }
       (Uarch.Core.sink core)
   in
-  Uarch.Core.publish ~recorder ~name:run_name core;
+  Uarch.Core.publish ~ctx ~name:run_name core;
   Uarch.Core.counters core
 
-let write_file file contents =
-  match open_out file with
-  | oc ->
-    output_string oc contents;
-    close_out oc
-  | exception Sys_error msg ->
-    Printf.eprintf "cannot write %s: %s\n" file msg;
-    exit 1
-
-let run_stat benchmark requests jobs json out =
-  (match jobs with
-  | Some j when j < 1 ->
-    Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
-    exit 2
-  | Some j -> Support.Pool.set_default_jobs j
-  | None -> ());
-  match Progen.Suite.by_name benchmark with
-  | None ->
-    Printf.eprintf "unknown benchmark %S; known: %s\n" benchmark
-      (String.concat ", " (List.map (fun (s : Progen.Spec.t) -> s.name) Progen.Suite.all));
-    exit 2
-  | Some spec ->
-    let spec =
-      match requests with Some r -> { spec with Progen.Spec.requests = r } | None -> spec
-    in
+let run_stat benchmark requests jobs seed faults json out trace metrics_out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults () in
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  begin
     if not json then Printf.printf "running pipeline on %s...\n%!" spec.name;
     let program = Progen.Generate.program spec in
-    let env = Buildsys.Driver.make_env () in
+    let env = Buildsys.Driver.make_env ~ctx () in
     let base = Propeller.Pipeline.baseline_build ~env ~program ~name:spec.name in
     let config =
       {
@@ -69,30 +48,39 @@ let run_stat benchmark requests jobs json out =
       }
     in
     let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
-    let recorder = env.Buildsys.Driver.recorder in
-    let cb = measure ~spec ~recorder ~run_name:"base" program base.binary in
+    let recorder = Buildsys.Driver.recorder env in
+    let cb = measure ~spec ~ctx ~run_name:"base" program base.binary in
     let cp =
-      measure ~spec ~recorder ~run_name:"propeller" program
+      measure ~spec ~ctx ~run_name:"propeller" program
         (Propeller.Pipeline.optimized_binary result)
     in
     let report = Diagnostics.Report.analyze ~name:spec.name ~counters:(cb, cp) ~result () in
-    Diagnostics.Report.publish ~recorder report;
+    Diagnostics.Report.publish ~ctx report;
     if not json then
       Printf.printf
         "relink caches: layout %d hits / %d misses; objects %d hits / %d misses (jobs=%d)\n"
         result.wpa.layout_cache_hits result.wpa.layout_cache_misses
         (Buildsys.Cache.hits env.Buildsys.Driver.obj_cache)
         (Buildsys.Cache.misses env.Buildsys.Driver.obj_cache)
-        (Support.Pool.jobs env.Buildsys.Driver.pool);
+        (Support.Pool.jobs (Buildsys.Driver.pool env));
+    if Support.Ctx.faults_active ctx && not json then
+      print_endline
+        (Cli_common.resilience_line
+           (Cli_common.sum_fault_stats result.metadata_build.faults
+              result.optimized_build.faults)
+           ~shards_dropped:result.wpa.shards_dropped
+           ~dropped_hot_funcs:result.wpa.dropped_hot_funcs);
     let rendered =
       if json then Obs.Json.to_string (Diagnostics.Report.to_json report) ^ "\n"
       else Diagnostics.Report.to_text report
     in
     (match out with
     | Some file ->
-      write_file file rendered;
+      Cli_common.write_file file rendered;
       Printf.printf "diagnostics: %s\n" file
-    | None -> print_string rendered)
+    | None -> print_string rendered);
+    Cli_common.export_recorder recorder ~trace ~metrics_out
+  end
 
 let read_json label file =
   match In_channel.with_open_bin file In_channel.input_all with
@@ -128,18 +116,6 @@ let run_diff baseline_file current_file threshold quiet =
       exit 1
     end
 
-let benchmark =
-  Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
-
-let requests =
-  Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
-
-let jobs =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Domain pool width (default \\$(b,PROPELLER_JOBS) or 1).")
-
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
 
 let out =
@@ -148,7 +124,11 @@ let out =
     & opt (some string) None
     & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
 
-let run_term = Term.(const run_stat $ benchmark $ requests $ jobs $ json $ out)
+let run_term =
+  Term.(
+    const run_stat $ Cli_common.benchmark_term $ Cli_common.requests_term $ Cli_common.jobs_term
+    $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out $ Cli_common.trace_term
+    $ Cli_common.metrics_out_term)
 
 let run_cmd =
   Cmd.v

@@ -1,4 +1,12 @@
-type 'a entry = { value : 'a; bytes : int; mutable stamp : int }
+type 'a entry = {
+  value : 'a;
+  bytes : int;
+  mutable stamp : int;
+  mutable stored_digest : Support.Digesting.t option;
+      (* Content digest recorded at store time; [find_verified]
+         re-digests the value on read and compares. [corrupt] flips it
+         to simulate bit rot in the backing store. *)
+}
 
 type 'a t = {
   entries : (Support.Digesting.t, 'a entry) Hashtbl.t;
@@ -6,6 +14,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable corruptions : int;
   mutable stored : int;
   mutable tick : int;  (* LRU clock: bumped on every find/add *)
 }
@@ -20,6 +29,7 @@ let create ?capacity_bytes () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    corruptions = 0;
     stored = 0;
     tick = 0;
   }
@@ -66,15 +76,60 @@ let evict_to_fit c ~keep =
       ()
     done
 
-let add c key ~size v =
+let add ?digest_of c key ~size v =
   c.tick <- c.tick + 1;
   let bytes = size v in
   (match Hashtbl.find_opt c.entries key with
   | Some old -> c.stored <- c.stored - old.bytes
   | None -> ());
-  Hashtbl.replace c.entries key { value = v; bytes; stamp = c.tick };
+  let stored_digest = Option.map (fun f -> f v) digest_of in
+  Hashtbl.replace c.entries key { value = v; bytes; stamp = c.tick; stored_digest };
   c.stored <- c.stored + bytes;
   evict_to_fit c ~keep:key
+
+(* Drop [key] without touching hit/miss counters (verification owns the
+   accounting of corrupt reads). *)
+let remove_entry c key (e : 'a entry) =
+  Hashtbl.remove c.entries key;
+  c.stored <- c.stored - e.bytes
+
+let find_verified c key ~digest_of =
+  c.tick <- c.tick + 1;
+  match Hashtbl.find_opt c.entries key with
+  | None ->
+    c.misses <- c.misses + 1;
+    `Miss
+  | Some e -> (
+    match e.stored_digest with
+    | None ->
+      (* Stored without a digest: nothing to verify against. *)
+      c.hits <- c.hits + 1;
+      e.stamp <- c.tick;
+      `Hit e.value
+    | Some d when Support.Digesting.equal d (digest_of e.value) ->
+      c.hits <- c.hits + 1;
+      e.stamp <- c.tick;
+      `Hit e.value
+    | Some _ ->
+      (* Digest mismatch: the entry rotted in storage. Evict it and
+         report a miss — the caller re-runs the action, exactly as a
+         warehouse CAS treats a checksum failure. *)
+      remove_entry c key e;
+      c.misses <- c.misses + 1;
+      c.corruptions <- c.corruptions + 1;
+      `Corrupt)
+
+let corrupt c key =
+  match Hashtbl.find_opt c.entries key with
+  | None -> false
+  | Some e ->
+    let flipped =
+      match e.stored_digest with
+      | Some d -> Support.Digesting.of_string ("rot:" ^ Support.Digesting.to_hex d)
+      | None -> Support.Digesting.of_string "rot:undigested"
+    in
+    e.stored_digest <- Some flipped;
+    true
 
 let find_or_add c key ~size compute =
   match find c key with
@@ -89,6 +144,8 @@ let hits c = c.hits
 let misses c = c.misses
 
 let evictions c = c.evictions
+
+let corruptions c = c.corruptions
 
 let stored_bytes c = c.stored
 

@@ -30,8 +30,32 @@ val find : 'a t -> Support.Digesting.t -> 'a option
 
 (** [add c key ~size v] stores [v] under [key], charging [size v] bytes
     (replacing any previous entry), then evicts LRU entries until the
-    store fits the capacity. The just-added key is never evicted. *)
-val add : 'a t -> Support.Digesting.t -> size:('a -> int) -> 'a -> unit
+    store fits the capacity. The just-added key is never evicted.
+    When [digest_of] is given, a content digest of [v] is recorded with
+    the entry so later {!find_verified} reads can detect rot. *)
+val add :
+  ?digest_of:('a -> Support.Digesting.t) -> 'a t -> Support.Digesting.t -> size:('a -> int) -> 'a -> unit
+
+(** [find_verified c key ~digest_of] is [find] with an integrity check:
+    the stored value is re-digested on read and compared against the
+    digest recorded at {!add} time. A mismatch means the entry rotted in
+    storage — it is evicted, counted as both a miss and a corruption,
+    and reported as [`Corrupt] so the caller re-runs the action (the
+    checksum-failure path of a warehouse CAS). Entries stored without a
+    digest are trusted and hit normally. *)
+val find_verified :
+  'a t -> Support.Digesting.t -> digest_of:('a -> Support.Digesting.t) -> [ `Hit of 'a | `Miss | `Corrupt ]
+
+(** [corrupt c key] simulates bit rot: the entry's stored digest is
+    flipped in place so the next {!find_verified} read fails
+    verification. Returns false when [key] is absent. Used by the fault
+    injector ({!Faultsim.Plan.corrupts}) and by tests; plain {!find}
+    does not check digests and is unaffected. *)
+val corrupt : 'a t -> Support.Digesting.t -> bool
+
+(** [corruptions c] counts verified reads that failed the digest check
+    (each also counted as a miss and an eviction of the rotten entry). *)
+val corruptions : 'a t -> int
 
 (** [find_or_add c key ~size compute] returns [(artifact, hit)]: the
     cached artifact when [key] is present ([hit = true]), otherwise

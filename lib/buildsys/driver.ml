@@ -3,25 +3,54 @@ type env = {
   layout_cache : (Codegen.Directive.func_plan * float) Cache.t;
   workers : int;
   mem_limit : int option;
-  recorder : Obs.Recorder.t;
-  pool : Support.Pool.t;
+  ctx : Support.Ctx.t;
+  last_good : (string, Objfile.File.t) Hashtbl.t;
+  corrupted : (Support.Digesting.t, unit) Hashtbl.t;
 }
+
+let recorder env = env.ctx.Support.Ctx.recorder
+
+let pool env = env.ctx.Support.Ctx.pool
 
 (* Default pool models the distributed backend of a warehouse-scale
    build (paper §3.1): wide enough that codegen wall time is dominated
    by the longest unit, not by queueing. *)
-let make_env ?(workers = 256) ?mem_limit ?recorder ?pool () =
-  let recorder =
-    match recorder with Some r -> r | None -> Obs.Recorder.global
-  in
-  let pool = match pool with Some p -> p | None -> Support.Pool.global () in
+let make_env ?(workers = 256) ?mem_limit ?ctx () =
+  let ctx = match ctx with Some c -> c | None -> Support.Ctx.default () in
   {
     obj_cache = Cache.create ();
     layout_cache = Cache.create ();
     workers;
     mem_limit;
-    recorder;
-    pool;
+    ctx;
+    last_good = Hashtbl.create 64;
+    corrupted = Hashtbl.create 64;
+  }
+
+let make_env_legacy ?workers ?mem_limit ?recorder ?pool () =
+  make_env ?workers ?mem_limit ~ctx:(Support.Ctx.create ?recorder ?pool ()) ()
+
+type fault_stats = {
+  injected : int;
+  retried : int;
+  degraded : int;
+  fallbacks : int;
+  corrupt_evicted : int;
+  stragglers : int;
+  speculated : int;
+  backoff_seconds : float;
+}
+
+let no_faults =
+  {
+    injected = 0;
+    retried = 0;
+    degraded = 0;
+    fallbacks = 0;
+    corrupt_evicted = 0;
+    stragglers = 0;
+    speculated = 0;
+    backoff_seconds = 0.0;
   }
 
 type result = {
@@ -33,6 +62,7 @@ type result = {
   cpu_seconds : float;
   codegen_report : Scheduler.result;
   link_stats : Linker.Link.stats;
+  faults : fault_stats;
 }
 
 let tool_digest = Support.Digesting.of_string "propeller-backend-v1"
@@ -83,6 +113,24 @@ let unit_action_key (u : Ir.Cunit.t) (options : Codegen.options) =
         Support.Digesting.of_string (Codegen.Directive.to_text plans);
       ])
 
+(* Structural content digest of a stored object, recorded at cache-add
+   time and re-checked by verified reads. Only has to be deterministic
+   and sensitive to the object's shape — the rot we detect is a flipped
+   *stored* digest (Cache.corrupt), not adversarial tampering. *)
+let obj_digest (o : Objfile.File.t) =
+  Support.Digesting.of_string
+    (String.concat "|"
+       (o.name :: o.unit_name
+       :: string_of_bool o.has_inline_asm
+       :: List.map
+            (fun (s : Objfile.Section.t) ->
+              Printf.sprintf "%s:%s:%d:%s:%d" s.name
+                (Objfile.Section.kind_to_string s.kind)
+                s.align
+                (Option.value s.symbol ~default:"")
+                (Objfile.Section.size s))
+            o.sections))
+
 (* Per-unit outcome of the sequential cache pass. [Dup] marks a unit
    whose key is already being compiled for an earlier unit this build:
    its lookup is deferred to the commit pass, where it hits — exactly
@@ -111,23 +159,47 @@ let emit_pool_spans r pool ~label ~start ~duration =
     st.tasks_per_worker
 
 let build env ~name ~program ~codegen_options ~link_options =
-  let r = env.recorder in
+  let r = recorder env in
+  let pool = pool env in
+  (* Fault decisions are pure functions of (plan, identity), never of
+     schedule state, so every count and every byte below replays
+     identically for the same plan at any [--jobs] width. *)
+  let plan =
+    match env.ctx.Support.Ctx.faults with
+    | Some p when Faultsim.Plan.is_active p -> Some p
+    | Some _ | None -> None
+  in
   Obs.Recorder.with_span r ("build:" ^ name) @@ fun () ->
   let hits = ref 0 and misses = ref 0 in
   let actions = ref [] in
+  let injected = ref 0
+  and retried = ref 0
+  and degraded = ref 0
+  and fallbacks = ref 0
+  and corrupt_evicted = ref 0
+  and backoff_total = ref 0.0 in
+  (* Fallback objects of units whose action persistently failed this
+     build, keyed by action key so a Dup of the same key resolves to
+     the same bytes. Never committed to the cache: the key must stay a
+     miss so a later fault-free build recompiles and recovers. *)
+  let fallback_keys : (Support.Digesting.t, Objfile.File.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let objs, codegen_report =
     Obs.Recorder.with_span r "codegen" @@ fun () ->
-    Support.Pool.reset_stats env.pool;
+    Support.Pool.reset_stats pool;
     let phase_start = Obs.Recorder.now r in
     let units = Array.of_list (Ir.Program.units program) in
     let n = Array.length units in
     (* Action keys: pure per-unit digesting, fanned out on the pool. *)
     let keys =
-      Support.Pool.map_array env.pool n (fun i -> unit_action_key units.(i) codegen_options)
+      Support.Pool.map_array pool n (fun i -> unit_action_key units.(i) codegen_options)
     in
     (* Sequential cache pass in unit order: all Cache state (hit/miss
        counters, LRU stamps) mutates on the coordinator only, so the
-       accounting is identical for any pool width. *)
+       accounting is identical for any pool width. Reads are digest
+       verified: an entry that rotted in storage is evicted and
+       recompiled from source, exactly like any other miss. *)
     let pending : (Support.Digesting.t, unit) Hashtbl.t = Hashtbl.create 64 in
     let miss_units = ref [] and num_miss = ref 0 in
     let slots =
@@ -135,9 +207,13 @@ let build env ~name ~program ~codegen_options ~link_options =
           let key = keys.(i) in
           if Hashtbl.mem pending key then Dup
           else
-            match Cache.find env.obj_cache key with
-            | Some obj -> Hit obj
-            | None ->
+            let outcome = Cache.find_verified env.obj_cache key ~digest_of:obj_digest in
+            (match outcome with
+            | `Corrupt -> incr corrupt_evicted
+            | `Hit _ | `Miss -> ());
+            match outcome with
+            | `Hit obj -> Hit obj
+            | `Miss | `Corrupt ->
               Hashtbl.replace pending key ();
               miss_units := units.(i) :: !miss_units;
               let s = Miss !num_miss in
@@ -147,64 +223,131 @@ let build env ~name ~program ~codegen_options ~link_options =
     let miss_units = Array.of_list (List.rev !miss_units) in
     (* Backend fan-out: compile every missed unit across the pool. *)
     let compiled =
-      Support.Pool.map_array env.pool (Array.length miss_units) (fun j ->
-          Codegen.compile_unit ~pool:env.pool codegen_options miss_units.(j))
+      Support.Pool.map_array pool (Array.length miss_units) (fun j ->
+          Codegen.compile_unit ~ctx:env.ctx codegen_options miss_units.(j))
     in
     (* Commit pass, unit order: store artifacts, settle dup lookups,
-       and account scheduler actions — deterministic by construction. *)
+       account retries/fallbacks, and collect scheduler actions —
+       deterministic by construction. *)
     let objs =
       Array.to_list
         (Array.mapi
            (fun i slot ->
              let u = units.(i) in
+             let settle obj =
+               Hashtbl.replace env.last_good u.Ir.Cunit.name obj;
+               obj
+             in
              match slot with
              | Hit obj ->
                incr hits;
-               obj
+               settle obj
              | Dup -> (
                match Cache.find env.obj_cache keys.(i) with
                | Some obj ->
                  incr hits;
-                 obj
-               | None -> assert false (* committed by an earlier index *))
+                 settle obj
+               | None -> (
+                 match Hashtbl.find_opt fallback_keys keys.(i) with
+                 | Some obj -> obj (* same degraded bytes as the earlier index *)
+                 | None -> assert false (* committed by an earlier index *)))
              | Miss j ->
-               let obj = compiled.(j) in
-               Cache.add env.obj_cache keys.(i) ~size:Objfile.File.total_size obj;
                incr misses;
-               let code_bytes = Ir.Cunit.code_bytes u in
-               let a =
-                 {
-                   Scheduler.label = u.name;
-                   cpu_seconds = Costmodel.codegen_seconds ~code_bytes;
-                   peak_mem_bytes = Costmodel.codegen_mem ~code_bytes;
-                 }
+               let persistent_fail =
+                 match plan with
+                 | Some p ->
+                   Faultsim.Plan.persistent p ~unit_name:u.Ir.Cunit.name
+                   && Hashtbl.mem env.last_good u.Ir.Cunit.name
+                 | None -> false
                in
-               Obs.Recorder.observe r "buildsys.action.cpu_seconds" a.cpu_seconds;
-               actions := a :: !actions;
-               obj)
+               if persistent_fail then begin
+                 (* Every attempt burned; degrade to the last object
+                    this unit successfully built (the cached base
+                    object of the fault-free link). *)
+                 let p = Option.get plan in
+                 let burned = p.Faultsim.Plan.max_attempts in
+                 injected := !injected + burned;
+                 retried := !retried + (burned - 1);
+                 for retry = 1 to burned - 1 do
+                   backoff_total :=
+                     !backoff_total +. Faultsim.Plan.backoff_seconds p ~retry
+                 done;
+                 incr fallbacks;
+                 incr degraded;
+                 let obj = Hashtbl.find env.last_good u.Ir.Cunit.name in
+                 Hashtbl.replace fallback_keys keys.(i) obj;
+                 obj
+               end
+               else begin
+                 (match plan with
+                 | Some p ->
+                   (* Transient failures: replay until an attempt
+                      succeeds (the plan forces success at the last
+                      attempt), waiting out the exponential backoff
+                      between attempts. Bytes are unaffected. *)
+                   let attempts =
+                     Faultsim.Plan.attempts_for p ~key:u.Ir.Cunit.name
+                   in
+                   if attempts > 1 then begin
+                     injected := !injected + (attempts - 1);
+                     retried := !retried + (attempts - 1);
+                     for retry = 1 to attempts - 1 do
+                       backoff_total :=
+                         !backoff_total +. Faultsim.Plan.backoff_seconds p ~retry
+                     done
+                   end
+                 | None -> ());
+                 let obj = compiled.(j) in
+                 Cache.add ~digest_of:obj_digest env.obj_cache keys.(i)
+                   ~size:Objfile.File.total_size obj;
+                 (match plan with
+                 | Some p
+                   when (not (Hashtbl.mem env.corrupted keys.(i)))
+                        && Faultsim.Plan.corrupts p
+                             ~key:(Support.Digesting.to_hex keys.(i)) ->
+                   (* Rot the entry once per key: the next verified
+                      read detects the mismatch, evicts, recompiles —
+                      and the recompiled store stays clean. *)
+                   Hashtbl.replace env.corrupted keys.(i) ();
+                   ignore (Cache.corrupt env.obj_cache keys.(i));
+                   incr injected
+                 | Some _ | None -> ());
+                 let code_bytes = Ir.Cunit.code_bytes u in
+                 let a =
+                   {
+                     Scheduler.label = u.Ir.Cunit.name;
+                     cpu_seconds = Costmodel.codegen_seconds ~code_bytes;
+                     peak_mem_bytes = Costmodel.codegen_mem ~code_bytes;
+                   }
+                 in
+                 Obs.Recorder.observe r "buildsys.action.cpu_seconds" a.cpu_seconds;
+                 actions := a :: !actions;
+                 settle obj
+               end)
            slots)
     in
     let report =
-      Scheduler.schedule ?mem_limit:env.mem_limit ~workers:env.workers
+      Scheduler.schedule ?mem_limit:env.mem_limit ?faults:plan ~workers:env.workers
         (List.rev !actions)
     in
+    injected := !injected + report.stragglers;
     Obs.Recorder.advance r report.wall_seconds;
     Obs.Recorder.span_args r
       [
         ("actions", Obs.Trace.Int report.num_actions);
         ("cache_hits", Obs.Trace.Int !hits);
         ("workers", Obs.Trace.Int env.workers);
-        ("jobs", Obs.Trace.Int (Support.Pool.jobs env.pool));
+        ("jobs", Obs.Trace.Int (Support.Pool.jobs pool));
       ];
-    emit_pool_spans r env.pool ~label:"codegen:domain" ~start:phase_start
+    emit_pool_spans r pool ~label:"codegen:domain" ~start:phase_start
       ~duration:report.wall_seconds;
     (objs, report)
   in
   let outcome =
     Obs.Recorder.with_span r "link" @@ fun () ->
     let o =
-      Linker.Link.link ~recorder:r ~options:link_options ~name
-        ~entry:(Ir.Program.main program) objs
+      Linker.Link.link ~ctx:(Support.Ctx.with_recorder env.ctx r) ~options:link_options
+        ~name ~entry:(Ir.Program.main program) objs
     in
     Obs.Recorder.advance r o.stats.cpu_seconds;
     o
@@ -219,6 +362,33 @@ let build env ~name ~program ~codegen_options ~link_options =
       ("hits", float_of_int (Cache.hits env.obj_cache));
       ("misses", float_of_int (Cache.misses env.obj_cache));
     ];
+  let faults =
+    {
+      injected = !injected;
+      retried = !retried;
+      degraded = !degraded;
+      fallbacks = !fallbacks;
+      corrupt_evicted = !corrupt_evicted;
+      stragglers = codegen_report.stragglers;
+      speculated = codegen_report.speculated;
+      backoff_seconds = !backoff_total;
+    }
+  in
+  (* Fault telemetry only exists when a plan is in force: the fault-free
+     path must export byte-identical metrics to the pre-faultsim tree
+     (bench baselines compare whole exports). *)
+  (match plan with
+  | None -> ()
+  | Some _ ->
+    Obs.Recorder.add_counter r "fault.injected" faults.injected;
+    Obs.Recorder.add_counter r "fault.retried" faults.retried;
+    Obs.Recorder.add_counter r "fault.degraded" faults.degraded;
+    Obs.Recorder.add_counter r "fault.fallbacks" faults.fallbacks;
+    Obs.Recorder.add_counter r "fault.cache_corrupt" faults.corrupt_evicted;
+    Obs.Recorder.add_counter r "fault.stragglers" faults.stragglers;
+    Obs.Recorder.add_counter r "fault.speculated" faults.speculated;
+    if faults.backoff_seconds > 0.0 then
+      Obs.Recorder.observe r "fault.backoff_seconds" faults.backoff_seconds);
   {
     binary = outcome.binary;
     objs;
@@ -228,4 +398,5 @@ let build env ~name ~program ~codegen_options ~link_options =
     cpu_seconds = codegen_report.cpu_seconds +. outcome.stats.cpu_seconds;
     codegen_report;
     link_stats = outcome.stats;
+    faults;
   }

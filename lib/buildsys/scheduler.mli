@@ -24,16 +24,32 @@ type placement = { action : action; worker : int; start : float; finish : float 
 type result = {
   num_actions : int;
   wall_seconds : float;  (** Makespan across the pool. *)
-  cpu_seconds : float;  (** Total compute (sum of action costs). *)
+  cpu_seconds : float;
+      (** Total compute: sum of effective on-worker durations (equals
+          the sum of action costs in a fault-free schedule). *)
   max_action_mem : int;  (** Peak per-action memory over the set. *)
   over_limit : string list;  (** Labels exceeding [mem_limit], input order. *)
   workers : int;
   placements : placement list;  (** In placement (LPT) order. *)
+  stragglers : int;  (** Actions slowed by the fault plan. *)
+  speculated : int;
+      (** Stragglers rescued by a speculative backup copy (the backup
+          finished before the slowed original would have). *)
 }
 
-(** [schedule ?mem_limit ~workers actions] places every action; raises
-    [Invalid_argument] when [workers < 1]. *)
-val schedule : ?mem_limit:int -> workers:int -> action list -> result
+(** [schedule ?mem_limit ?faults ~workers actions] places every action;
+    raises [Invalid_argument] when [workers < 1].
+
+    With a fault plan, each action's on-worker duration is its modelled
+    effective duration: failed attempts replay the action and wait out
+    the exponential backoff ({!Faultsim.Plan.retry_cost}); stragglers
+    run [straggle_factor] slower, capped by speculative re-issue — once
+    a full fault-free duration elapses without completion a backup copy
+    is launched, so the action finishes at [min (slowed, 2 * base)].
+    Placement order itself never changes (decisions are keyed on action
+    labels, not on schedule state), so the same plan replays the same
+    schedule at any worker count. *)
+val schedule : ?mem_limit:int -> ?faults:Faultsim.Plan.t -> workers:int -> action list -> result
 
 (** [worker_timeline r w] is worker [w]'s placements in start order. *)
 val worker_timeline : result -> int -> placement list

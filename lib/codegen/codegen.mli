@@ -40,15 +40,22 @@ val default_options : options
     reordered). *)
 val intra_order : use_pgo:bool -> Ir.Func.t -> int list
 
-(** [compile_unit ?pool options u] emits the object file of unit [u]:
+(** [compile_unit ?ctx options u] emits the object file of unit [u]:
     per-function text sections (respecting [options.plans]), address-map
     metadata, [.eh_frame] (one CIE plus one FDE per text section; extra
     fragments pay the callee-saved re-emission toll of §4.4), exception
-    tables, and the unit's rodata/data. With [pool], per-function
-    lowering fans out across domains; the emitted object is
-    byte-identical to the sequential one. *)
-val compile_unit : ?pool:Support.Pool.t -> options -> Ir.Cunit.t -> Objfile.File.t
+    tables, and the unit's rodata/data. With [ctx], per-function
+    lowering fans out across the context's domain pool; the emitted
+    object is byte-identical to the sequential one. *)
+val compile_unit : ?ctx:Support.Ctx.t -> options -> Ir.Cunit.t -> Objfile.File.t
 
-(** [compile_program ?pool options p] compiles every unit, fanning out
-    across units when a pool is given. *)
-val compile_program : ?pool:Support.Pool.t -> options -> Ir.Program.t -> Objfile.File.t list
+(** [compile_program ?ctx options p] compiles every unit, fanning out
+    across units when a context is given. *)
+val compile_program : ?ctx:Support.Ctx.t -> options -> Ir.Program.t -> Objfile.File.t list
+
+val compile_unit_legacy : ?pool:Support.Pool.t -> options -> Ir.Cunit.t -> Objfile.File.t
+[@@ocaml.deprecated "use compile_unit ?ctx — ?pool collapsed into Support.Ctx.t"]
+
+val compile_program_legacy :
+  ?pool:Support.Pool.t -> options -> Ir.Program.t -> Objfile.File.t list
+[@@ocaml.deprecated "use compile_program ?ctx — ?pool collapsed into Support.Ctx.t"]

@@ -56,6 +56,9 @@ val to_json : t -> Obs.Json.t
     blocks, one per judgement area). *)
 val to_text : t -> string
 
-(** [publish ?recorder t] records every scalar as a
-    [diag.<area>.<metric>] gauge (default recorder: the global one). *)
-val publish : ?recorder:Obs.Recorder.t -> t -> unit
+(** [publish ?ctx t] records every scalar as a [diag.<area>.<metric>]
+    gauge on the context's recorder (default: the global one). *)
+val publish : ?ctx:Support.Ctx.t -> t -> unit
+
+val publish_legacy : ?recorder:Obs.Recorder.t -> t -> unit
+[@@ocaml.deprecated "use publish ?ctx — ?recorder collapsed into Support.Ctx.t"]

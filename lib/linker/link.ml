@@ -267,7 +267,7 @@ let relax_sweep sections ~deleted ~shrunk =
 let symtab_bytes syms =
   Hashtbl.fold (fun name _ acc -> acc + 24 + String.length name + 1) syms 0
 
-let link ?recorder ?(options = default_options) ~name ~entry objs =
+let link_with ?recorder ?(options = default_options) ~name ~entry objs =
   let recorder =
     match recorder with Some r -> r | None -> Obs.Recorder.global
   in
@@ -401,3 +401,11 @@ let link ?recorder ?(options = default_options) ~name ~entry objs =
   Obs.Recorder.add_counter recorder "linker.symbols.resolved" (Hashtbl.length final_syms);
   Obs.Recorder.observe recorder "linker.cpu_seconds" stats.cpu_seconds;
   { binary; stats }
+
+let link ?ctx ?options ~name ~entry objs =
+  link_with
+    ?recorder:(Option.map (fun c -> c.Support.Ctx.recorder) ctx)
+    ?options ~name ~entry objs
+
+let link_legacy ?recorder ?options ~name ~entry objs =
+  link_with ?recorder ?options ~name ~entry objs

@@ -41,15 +41,24 @@ type stats = {
 
 type outcome = { binary : Binary.t; stats : stats }
 
-(** [link ?recorder ?options ~name ~entry objs] produces the
-    executable. Raises {!Link_error} on duplicate or unresolved
-    symbols. Relaxation-iteration, deleted-jump, shrunk-branch and
-    resolved-symbol counters are recorded on [recorder] (default
-    {!Obs.Recorder.global}). *)
+(** [link ?ctx ?options ~name ~entry objs] produces the executable.
+    Raises {!Link_error} on duplicate or unresolved symbols.
+    Relaxation-iteration, deleted-jump, shrunk-branch and
+    resolved-symbol counters are recorded on the context's recorder
+    (default {!Obs.Recorder.global}). *)
 val link :
+  ?ctx:Support.Ctx.t ->
+  ?options:options ->
+  name:string ->
+  entry:string ->
+  Objfile.File.t list ->
+  outcome
+
+val link_legacy :
   ?recorder:Obs.Recorder.t ->
   ?options:options ->
   name:string ->
   entry:string ->
   Objfile.File.t list ->
   outcome
+[@@ocaml.deprecated "use link ?ctx — ?recorder collapsed into Support.Ctx.t"]

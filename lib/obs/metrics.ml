@@ -44,20 +44,48 @@ type summary = {
   p99 : float;
 }
 
+(* Summary statistics, kept local so obs has no library dependencies:
+   Support sits *above* obs in the stack (Support.Ctx carries an
+   Obs.Recorder.t), so obs cannot call into Support.Stats. The
+   algorithms are identical (same nearest-rank percentile, same
+   population stddev), keeping exported summaries byte-stable. *)
+module Summ = struct
+  let sum = List.fold_left ( +. ) 0.0
+
+  let mean = function [] -> 0.0 | xs -> sum xs /. float_of_int (List.length xs)
+
+  let percentile p xs =
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+
+  let stddev xs =
+    let m = mean xs in
+    sqrt (mean (List.map (fun x -> (x -. m) *. (x -. m)) xs))
+
+  let median xs =
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+end
+
 let summarize = function
   | [] -> None
   | xs ->
     Some
       {
         count = List.length xs;
-        sum = Support.Stats.sum xs;
-        mean = Support.Stats.mean xs;
-        stddev = Support.Stats.stddev xs;
+        sum = Summ.sum xs;
+        mean = Summ.mean xs;
+        stddev = Summ.stddev xs;
         min = List.fold_left Float.min Float.infinity xs;
         max = List.fold_left Float.max Float.neg_infinity xs;
-        median = Support.Stats.median xs;
-        p90 = Support.Stats.percentile 90.0 xs;
-        p99 = Support.Stats.percentile 99.0 xs;
+        median = Summ.median xs;
+        p90 = Summ.percentile 90.0 xs;
+        p99 = Summ.percentile 99.0 xs;
       }
 
 let summary t name =

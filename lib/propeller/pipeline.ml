@@ -64,7 +64,7 @@ let profiling_window_seconds = 8.0 *. 60.0
    so that round N profiles a binary already laid out by round N-1 (the
    "additional round of hardware profiling" of paper 4.6). *)
 let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
-  let rec_ = env.Buildsys.Driver.recorder in
+  let rec_ = Buildsys.Driver.recorder env in
   Obs.Recorder.with_span rec_ (Printf.sprintf "round:%d" round) @@ fun () ->
   let cg_meta, ld_meta = metadata_options in
   let cg_meta, ld_meta =
@@ -120,10 +120,10 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
   in
   let wpa, prefetch =
     Obs.Recorder.with_span rec_ "phase:wpa" @@ fun () ->
-    Support.Pool.reset_stats env.Buildsys.Driver.pool;
+    Support.Pool.reset_stats (Buildsys.Driver.pool env);
     let wpa_start = Obs.Recorder.now rec_ in
     let wpa =
-      Wpa.analyze ~config:config.wpa ~pool:env.Buildsys.Driver.pool
+      Wpa.analyze ~config:config.wpa ~ctx:env.Buildsys.Driver.ctx
         ~layout_cache:env.Buildsys.Driver.layout_cache ~profile
         ~binary:metadata_build.binary ()
     in
@@ -149,9 +149,18 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
     Obs.Recorder.add_counter rec_ "wpa.layout_cache.hits" wpa.layout_cache_hits;
     Obs.Recorder.add_counter rec_ "wpa.layout_cache.misses" wpa.layout_cache_misses;
     Obs.Recorder.add_counter rec_ "wpa.layout_cache.evictions" wpa.layout_cache_evictions;
+    (* Shard-drop degradation is accounted here (Wpa itself stays free
+       of telemetry); counters only exist when a plan is armed so the
+       fault-free export stays byte-identical. *)
+    if wpa.shards_dropped > 0 || wpa.dropped_hot_funcs > 0 then begin
+      Obs.Recorder.add_counter rec_ "fault.injected" wpa.shards_dropped;
+      Obs.Recorder.add_counter rec_ "fault.shards_dropped" wpa.shards_dropped;
+      Obs.Recorder.add_counter rec_ "fault.degraded" wpa.dropped_hot_funcs;
+      Obs.Recorder.add_counter rec_ "fault.dropped_hot_funcs" wpa.dropped_hot_funcs
+    end;
     (* One lane per pool domain that ran layout tasks this phase, laid
        over the wpa span's simulated-time extent. *)
-    let st = Support.Pool.stats env.Buildsys.Driver.pool in
+    let st = Support.Pool.stats (Buildsys.Driver.pool env) in
     Array.iteri
       (fun w tasks ->
         if tasks > 0 then

@@ -29,6 +29,8 @@ type result = {
   layout_cache_hits : int;
   layout_cache_misses : int;
   layout_cache_evictions : int;
+  shards_dropped : int;
+  dropped_hot_funcs : int;
 }
 
 (* The sampled block universe of one function: sorted block ids (entry
@@ -163,9 +165,22 @@ let layout_key config (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
   List.iter (fun (s, t, w) -> Printf.bprintf b "|e%d>%d:%d" s t w) edges;
   Support.Digesting.of_string (Buffer.contents b)
 
-let analyze ?(config = default_config) ?pool ?layout_cache ~profile
+let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
     ~(binary : Linker.Binary.t) () =
-  let pool = match pool with Some p -> p | None -> Support.Pool.global () in
+  let pool =
+    match ctx with
+    | Some c -> c.Support.Ctx.pool
+    | None -> Support.Pool.global ()
+  in
+  let plan =
+    match ctx with
+    | Some c -> (
+      match c.Support.Ctx.faults with
+      | Some p when Faultsim.Plan.is_active p && p.Faultsim.Plan.shard_drop > 0.0 ->
+        Some p
+      | Some _ | None -> None)
+    | None -> None
+  in
   let cache_snapshot () =
     match layout_cache with
     | Some c -> Buildsys.Cache.(hits c, misses c, evictions c)
@@ -173,7 +188,25 @@ let analyze ?(config = default_config) ?pool ?layout_cache ~profile
   in
   let h0, m0, e0 = cache_snapshot () in
   let dcfg = Dcfg.build ~profile ~binary in
-  let hot = Dcfg.hot_funcs dcfg in
+  let all_hot = Dcfg.hot_funcs dcfg in
+  (* Graceful degradation on missing profile shards: each hot function's
+     samples live in one shard of the sharded profile store; a dropped
+     shard takes its functions' plans and ordering entries with it —
+     they keep the baseline layout, exactly as if never sampled. The
+     analysis (and the relink) always completes. *)
+  let shards_dropped, hot =
+    match plan with
+    | None -> (0, all_hot)
+    | Some p ->
+      ( List.length (Faultsim.Plan.dropped_shards p),
+        List.filter
+          (fun (d : Dcfg.dfunc) ->
+            not
+              (Faultsim.Plan.shard_dropped p
+                 ~shard:(Faultsim.Plan.shard_of p ~key:d.dname)))
+          all_hot )
+  in
+  let dropped_hot_funcs = List.length all_hot - List.length hot in
   let dcfg_blocks = Dcfg.num_blocks dcfg in
   let dcfg_edges = Dcfg.num_edges dcfg in
   let score = ref 0.0 in
@@ -303,4 +336,10 @@ let analyze ?(config = default_config) ?pool ?layout_cache ~profile
     layout_cache_hits = h1 - h0;
     layout_cache_misses = m1 - m0;
     layout_cache_evictions = e1 - e0;
+    shards_dropped;
+    dropped_hot_funcs;
   }
+
+let analyze_legacy ?config ?pool ?layout_cache ~profile ~binary () =
+  let ctx = Support.Ctx.create ?pool () in
+  analyze ?config ~ctx ?layout_cache ~profile ~binary ()

@@ -41,6 +41,12 @@ type result = {
           this call; 0 when no cache was given. *)
   layout_cache_misses : int;  (** Functions laid out from scratch. *)
   layout_cache_evictions : int;  (** Entries dropped by capacity. *)
+  shards_dropped : int;
+      (** Profile shards the fault plan dropped (0 without a plan). *)
+  dropped_hot_funcs : int;
+      (** Hot functions that lost their samples to a dropped shard and
+          kept the baseline layout — each is a degradation the caller
+          should count against [fault.degraded]. *)
 }
 
 (** [block_layout ?params ?split_threshold dcfg dfunc] computes the
@@ -61,17 +67,34 @@ val block_layout :
     the same key, so warm relinks reuse its cached (plan, score). *)
 val layout_key : config -> Dcfg.t -> Dcfg.dfunc -> Support.Digesting.t
 
-(** [analyze ?config ?pool ?layout_cache ~profile ~binary ()] runs the
+(** [analyze ?config ?ctx ?layout_cache ~profile ~binary ()] runs the
     whole-program analysis against a metadata binary (one linked with
     [keep_bb_addr_map = true]; raises [Invalid_argument] otherwise).
 
-    Per-function partitioning and Ext-TSP fan out on [pool] (default
-    {!Support.Pool.global}); results commit in deterministic order, so
-    plans, ordering and [layout_score] are identical for any pool
-    width. With [layout_cache], functions whose {!layout_key} is cached
-    skip layout entirely — the incremental-relink fast path — and the
-    result's [layout_cache_*] fields report this call's deltas. *)
+    Per-function partitioning and Ext-TSP fan out on the context's
+    domain pool (default {!Support.Pool.global}); results commit in
+    deterministic order, so plans, ordering and [layout_score] are
+    identical for any pool width. With [layout_cache], functions whose
+    {!layout_key} is cached skip layout entirely — the
+    incremental-relink fast path — and the result's [layout_cache_*]
+    fields report this call's deltas.
+
+    When [ctx] carries an active fault plan with a positive shard-drop
+    rate, the sharded profile store loses shards: hot functions hashed
+    to a dropped shard are analyzed as if never sampled (baseline
+    layout, no ordering entry) and counted in [dropped_hot_funcs]; the
+    analysis itself always completes. Shard drops model the Intra
+    per-function profile store and do not apply to [Interproc] mode. *)
 val analyze :
+  ?config:config ->
+  ?ctx:Support.Ctx.t ->
+  ?layout_cache:(Codegen.Directive.func_plan * float) Buildsys.Cache.t ->
+  profile:Perfmon.Lbr.profile ->
+  binary:Linker.Binary.t ->
+  unit ->
+  result
+
+val analyze_legacy :
   ?config:config ->
   ?pool:Support.Pool.t ->
   ?layout_cache:(Codegen.Directive.func_plan * float) Buildsys.Cache.t ->
@@ -79,3 +102,4 @@ val analyze :
   binary:Linker.Binary.t ->
   unit ->
   result
+[@@ocaml.deprecated "use analyze ?ctx — ?pool collapsed into Support.Ctx.t"]

@@ -218,7 +218,7 @@ let counters_assoc (c : counters) =
     ("dmisses", c.dmisses);
   ]
 
-let publish ?recorder ~name t =
+let publish_with ?recorder ~name t =
   let r = match recorder with Some r -> r | None -> Obs.Recorder.global in
   let c = t.c in
   List.iter
@@ -226,3 +226,8 @@ let publish ?recorder ~name t =
       Obs.Recorder.add_counter r (Printf.sprintf "uarch.%s.%s" name counter) v)
     (counters_assoc c);
   Obs.Recorder.set_gauge r (Printf.sprintf "uarch.%s.cycles" name) c.cycles
+
+let publish ?ctx ~name t =
+  publish_with ?recorder:(Option.map (fun c -> c.Support.Ctx.recorder) ctx) ~name t
+
+let publish_legacy ?recorder ~name t = publish_with ?recorder ~name t

@@ -66,8 +66,11 @@ val reset : t -> unit
     float gauge, not an event count. *)
 val counters_assoc : counters -> (string * int) list
 
-(** [publish ?recorder ~name t] records every counter into the
+(** [publish ?ctx ~name t] records every counter into the context
     recorder's metrics registry as ["uarch.<name>.<counter>"] (default
     recorder: {!Obs.Recorder.global}). [name] labels the run, e.g.
     ["base"] or ["propeller"]. *)
-val publish : ?recorder:Obs.Recorder.t -> name:string -> t -> unit
+val publish : ?ctx:Support.Ctx.t -> name:string -> t -> unit
+
+val publish_legacy : ?recorder:Obs.Recorder.t -> name:string -> t -> unit
+[@@ocaml.deprecated "use publish ?ctx — ?recorder collapsed into Support.Ctx.t"]

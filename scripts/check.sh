@@ -103,6 +103,54 @@ dune exec bin/propeller_inspect.exe -- validate \
   exit 1
 }
 
+echo "== fault injection smoke =="
+# Seeded fault plans replay byte-identically: the same --faults plan and
+# seed print the same image digest and the same resilience line on every
+# rerun; a degradation-free plan (no persistent failures, no shard
+# drops) recovers the fault-free image bit for bit.
+plan='action=0.2,persist=0.1,straggle=0.1,corrupt=0.15,shard-drop=0.1'
+for seed in 7 11; do
+  for rerun in a b; do
+    dune exec bin/propeller_driver.exe -- \
+      --benchmark 505.mcf --requests 40 \
+      --faults "$plan" --seed "$seed" \
+      --metrics-out "$out_dir/faults_${seed}_${rerun}.metrics.json" \
+      >"$out_dir/faults_${seed}_${rerun}.log"
+  done
+  cmp -s "$out_dir/faults_${seed}_a.metrics.json" \
+    "$out_dir/faults_${seed}_b.metrics.json" || {
+    echo "FAIL: faulted metrics JSON differs across reruns (seed $seed)" >&2
+    exit 1
+  }
+  grep -q '^resilience:' "$out_dir/faults_${seed}_a.log" || {
+    echo "FAIL: faulted driver printed no resilience line (seed $seed)" >&2
+    exit 1
+  }
+  da=$(grep '^image digest:' "$out_dir/faults_${seed}_a.log")
+  db=$(grep '^image digest:' "$out_dir/faults_${seed}_b.log")
+  ra=$(grep '^resilience:' "$out_dir/faults_${seed}_a.log")
+  rb=$(grep '^resilience:' "$out_dir/faults_${seed}_b.log")
+  test -n "$da" || { echo "FAIL: faulted driver printed no image digest" >&2; exit 1; }
+  if [ "$da" != "$db" ] || [ "$ra" != "$rb" ]; then
+    echo "FAIL: fault replay at seed $seed is not deterministic" >&2
+    echo "  run a: $da / $ra" >&2
+    echo "  run b: $db / $rb" >&2
+    exit 1
+  fi
+done
+dune exec bin/propeller_driver.exe -- \
+  --benchmark 505.mcf --requests 40 \
+  --faults 'seed=3,action=0.3,straggle=0.2,corrupt=0.3' \
+  >"$out_dir/faults_nodeg.log"
+clean=$(grep '^image digest:' "$out_dir/driver_j1.log")
+nodeg=$(grep '^image digest:' "$out_dir/faults_nodeg.log")
+if [ "$clean" != "$nodeg" ]; then
+  echo "FAIL: degradation-free fault plan changed the image" >&2
+  echo "  fault-free: $clean" >&2
+  echo "  faulted:    $nodeg" >&2
+  exit 1
+fi
+
 echo "== bench regression gate =="
 # Emit a fresh bench JSON for the small progen workload and diff it
 # against the committed golden baseline; >5% regression fails the check.
@@ -120,4 +168,4 @@ scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {
   exit 1
 }
 
-echo "OK: build + tests + trace smoke + bench gate all green"
+echo "OK: build + tests + trace smoke + fault smoke + bench gate all green"

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "propeller"
     [
       ("support", Test_support.suite);
+      ("faultsim", Test_faultsim.suite);
       ("pool", Test_pool.suite);
       ("isa", Test_isa.suite);
       ("ir", Test_ir.suite);

@@ -211,6 +211,156 @@ let test_costmodel_monotonic () =
   let m2 = Buildsys.Costmodel.wpa_mem ~profile_bytes:(1 lsl 33) ~dcfg_blocks:0 ~dcfg_edges:0 in
   check ti "profile reading is chunked" m1 m2
 
+(* --- Fault injection (ISSUE 5) ------------------------------------ *)
+
+let test_cache_find_verified () =
+  let c = Buildsys.Cache.create () in
+  let key = Support.Digesting.of_string "k" in
+  let digest_of = Support.Digesting.of_string in
+  Buildsys.Cache.add ~digest_of c key ~size:String.length "artifact";
+  (match Buildsys.Cache.find_verified c key ~digest_of with
+  | `Hit v -> check ts "verified hit" "artifact" v
+  | `Miss | `Corrupt -> Alcotest.fail "fresh entry should verify");
+  check tb "rot flips" true (Buildsys.Cache.corrupt c key);
+  (match Buildsys.Cache.find_verified c key ~digest_of with
+  | `Corrupt -> ()
+  | `Hit _ -> Alcotest.fail "rotted entry must not verify"
+  | `Miss -> Alcotest.fail "rot must be reported as corrupt, not a plain miss");
+  check tb "evicted on detection" false (Buildsys.Cache.mem c key);
+  check ti "corruption counted" 1 (Buildsys.Cache.corruptions c);
+  (* The re-stored entry verifies again. *)
+  Buildsys.Cache.add ~digest_of c key ~size:String.length "artifact";
+  (match Buildsys.Cache.find_verified c key ~digest_of with
+  | `Hit v -> check ts "re-stored entry verifies" "artifact" v
+  | `Miss | `Corrupt -> Alcotest.fail "re-stored entry should verify");
+  (* Entries stored without a digest are trusted hits. *)
+  let key2 = Support.Digesting.of_string "k2" in
+  Buildsys.Cache.add c key2 ~size:String.length "trusted";
+  (match Buildsys.Cache.find_verified c key2 ~digest_of with
+  | `Hit v -> check ts "undigested entry trusted" "trusted" v
+  | `Miss | `Corrupt -> Alcotest.fail "undigested entry should hit");
+  check tb "absent key cannot rot" false
+    (Buildsys.Cache.corrupt c (Support.Digesting.of_string "nope"))
+
+let test_scheduler_stragglers () =
+  let plan = { Faultsim.Plan.default with straggle = 1.0; straggle_factor = 8.0 } in
+  let r = Buildsys.Scheduler.schedule ~workers:1 ~faults:plan [ action "a" 2.0 1 ] in
+  check ti "straggler counted" 1 r.Buildsys.Scheduler.stragglers;
+  check ti "backup copy won" 1 r.Buildsys.Scheduler.speculated;
+  (* Speculative re-issue caps an 8x straggler at 2x its nominal cost. *)
+  check tb "slowdown capped at 2x" true (abs_float (r.wall_seconds -. 4.0) < 1e-9);
+  let clean = Buildsys.Scheduler.schedule ~workers:1 [ action "a" 2.0 1 ] in
+  check ti "no plan, no stragglers" 0 clean.Buildsys.Scheduler.stragglers
+
+let faulted_env plan =
+  Buildsys.Driver.make_env
+    ~ctx:(Support.Ctx.create ~recorder:(Obs.Recorder.create ()) ~faults:plan ())
+    ()
+
+let default_build env ?(codegen = Codegen.default_options) name program =
+  Buildsys.Driver.build env ~name ~program ~codegen_options:codegen
+    ~link_options:Linker.Link.default_options
+
+let test_build_retry_accounting () =
+  let _, program = medium_program () in
+  (* Every attempt fails; the plan forces success on attempt 3. *)
+  let plan = { Faultsim.Plan.default with action_fail = 1.0; max_attempts = 3 } in
+  let env = faulted_env plan in
+  let r = default_build env "img" program in
+  let units = List.length r.objs in
+  check ti "two retries per unit" (2 * units) r.faults.retried;
+  check ti "injected = failed attempts" (2 * units) r.faults.injected;
+  check ti "retries alone degrade nothing" 0 r.faults.degraded;
+  (* Backoff gaps 0.5 + 1.0 per unit, geometric from the defaults. *)
+  check tb "backoff accumulated" true
+    (abs_float (r.faults.backoff_seconds -. (1.5 *. float_of_int units)) < 1e-6);
+  check tb "retries stretch the makespan" true
+    (r.wall_seconds > (default_build (Buildsys.Driver.make_env ()) "r0" program).wall_seconds);
+  (* degraded = 0 => the image is the fault-free image. *)
+  let clean = default_build (Buildsys.Driver.make_env ()) "img" program in
+  check tb "fault-free digest recovered" true
+    (Support.Digesting.equal
+       (Linker.Binary.image_digest r.binary)
+       (Linker.Binary.image_digest clean.binary))
+
+let test_build_corrupt_eviction () =
+  let _, program = medium_program () in
+  let plan = { Faultsim.Plan.default with corrupt = 1.0 } in
+  let env = faulted_env plan in
+  let r1 = default_build env "img" program in
+  let units = List.length r1.objs in
+  check ti "first build misses everything" units r1.cache_misses;
+  (* Every stored entry rotted in place; the rebuild detects each one on
+     its verified read, evicts it and recompiles from source. *)
+  let r2 = default_build env "img" program in
+  check ti "all rot caught" units r2.faults.corrupt_evicted;
+  check ti "all recompiled" units r2.cache_misses;
+  check ti "cache-level corruption accounting" units
+    (Buildsys.Cache.corruptions env.obj_cache);
+  check ti "recompiles do not degrade" 0 r2.faults.degraded;
+  check tb "recompiled image byte-identical" true
+    (Support.Digesting.equal
+       (Linker.Binary.image_digest r1.binary)
+       (Linker.Binary.image_digest r2.binary));
+  (* Rot flips once per key: the entries re-stored after detection stay
+     clean, so a third build is all hits. *)
+  let r3 = default_build env "img" program in
+  check ti "third build all hits" 0 r3.cache_misses;
+  check ti "no further corruption" 0 r3.faults.corrupt_evicted
+
+(* A layout plan that actually moves bytes: entry first, the remaining
+   blocks reversed. *)
+let reversal_plan (f : Ir.Func.t) =
+  let n = Ir.Func.num_blocks f in
+  {
+    Codegen.Directive.func = f.name;
+    clusters =
+      [
+        {
+          Codegen.Directive.kind = Codegen.Directive.Primary;
+          blocks = 0 :: List.rev (List.init (n - 1) (fun i -> i + 1));
+        };
+      ];
+  }
+
+let test_build_persistent_fallback () =
+  let _, program = medium_program () in
+  let plan = { Faultsim.Plan.default with persist = 1.0 } in
+  let env = faulted_env plan in
+  let r1 = default_build env "img" program in
+  (* No last-good store yet, so the first build compiles everything. *)
+  check ti "first build cannot fall back" 0 r1.faults.fallbacks;
+  (* Invalidate one unit via a layout plan; its action persistently
+     fails and the build degrades to the unit's base object. *)
+  let f =
+    Ir.Program.fold_funcs program None (fun acc f ->
+        match acc with
+        | Some _ -> acc
+        | None -> if f.Ir.Func.name <> "main" && Ir.Func.num_blocks f >= 3 then Some f else acc)
+  in
+  let codegen =
+    { Codegen.default_options with plans = [ reversal_plan (Option.get f) ] }
+  in
+  let r2 = default_build env ~codegen "img" program in
+  check ti "one unit degraded" 1 r2.faults.degraded;
+  check ti "fallbacks equal degraded" 1 r2.faults.fallbacks;
+  check tb "attempt budget burned before giving up" true (r2.faults.retried > 0);
+  check tb "link completes on the fallback object" true
+    (Support.Digesting.equal
+       (Linker.Binary.image_digest r2.binary)
+       (Linker.Binary.image_digest r1.binary));
+  (* The fallback was never cached under the failing key, so the same
+     build degrades again instead of serving a poisoned hit ... *)
+  let r3 = default_build env ~codegen "img" program in
+  check ti "fallback not cached" 1 r3.faults.degraded;
+  (* ... and a fault-free build of the same options produces different
+     (re-laid-out) bytes than the degraded image. *)
+  let clean = default_build (Buildsys.Driver.make_env ()) ~codegen "img" program in
+  check tb "degradation visibly changed the image" false
+    (Support.Digesting.equal
+       (Linker.Binary.image_digest clean.binary)
+       (Linker.Binary.image_digest r2.binary))
+
 let suite =
   [
     Alcotest.test_case "cache: hit/miss accounting" `Quick test_cache_hit_miss;
@@ -228,4 +378,11 @@ let suite =
     Alcotest.test_case "driver: plans invalidate only their unit" `Quick test_plan_invalidates_only_its_unit;
     Alcotest.test_case "driver: action key sensitivity" `Quick test_unit_action_key_sensitivity;
     Alcotest.test_case "cost models monotonic" `Quick test_costmodel_monotonic;
+    Alcotest.test_case "cache: digest-verified reads catch rot" `Quick test_cache_find_verified;
+    Alcotest.test_case "scheduler: stragglers + speculation" `Quick test_scheduler_stragglers;
+    Alcotest.test_case "driver: retry with backoff" `Quick test_build_retry_accounting;
+    Alcotest.test_case "driver: corrupt entries evicted + recompiled" `Quick
+      test_build_corrupt_eviction;
+    Alcotest.test_case "driver: persistent failure falls back" `Quick
+      test_build_persistent_fallback;
   ]

@@ -316,6 +316,40 @@ let test_wpa_resource_model () =
   check tb "dcfg counted" true (result.wpa.dcfg_blocks > 0 && result.wpa.dcfg_edges > 0);
   check tb "hot funcs counted" true (result.wpa.hot_funcs > 0)
 
+(* --- Fault injection: dropped profile shards (ISSUE 5) ------------ *)
+
+let test_wpa_shard_drop_accounting () =
+  let _, program = medium_program () in
+  let _, { Linker.Link.binary; _ } = metadata_link program in
+  let _, profile = run_with_profile ~requests:100 program binary in
+  let clean = Propeller.Wpa.analyze ~profile ~binary () in
+  check ti "no plan, nothing dropped" 0 clean.shards_dropped;
+  check ti "no plan, no lost funcs" 0 clean.dropped_hot_funcs;
+  (* Lose profile shards at rate 0.5 over 8 shards. *)
+  let plan = { Faultsim.Plan.default with shard_drop = 0.5; shards = 8 } in
+  let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) ~faults:plan () in
+  let faulted = Propeller.Wpa.analyze ~ctx ~profile ~binary () in
+  check ti "dropped shards reported"
+    (List.length (Faultsim.Plan.dropped_shards plan))
+    faulted.shards_dropped;
+  (* Hot functions in dropped shards keep the baseline layout and are
+     accounted one-for-one against the clean analysis. *)
+  check ti "lost hot funcs accounted" (clean.hot_funcs - faulted.hot_funcs)
+    faulted.dropped_hot_funcs;
+  check tb "analysis still completes" true
+    (faulted.hot_funcs + faulted.dropped_hot_funcs = clean.hot_funcs);
+  (* No surviving plan names a function whose shard was dropped. *)
+  List.iter
+    (fun (p : Codegen.Directive.func_plan) ->
+      check tb p.func false
+        (Faultsim.Plan.shard_dropped plan ~shard:(Faultsim.Plan.shard_of plan ~key:p.func)))
+    faulted.plans;
+  (* Same plan, same drops: the degradation replays deterministically. *)
+  let again = Propeller.Wpa.analyze ~ctx ~profile ~binary () in
+  check ti "replayed drops identical" faulted.shards_dropped again.shards_dropped;
+  check ti "replayed losses identical" faulted.dropped_hot_funcs again.dropped_hot_funcs;
+  check tb "replayed ordering identical" true (faulted.ordering = again.ordering)
+
 let suite =
   [
     Alcotest.test_case "dcfg: requires metadata" `Quick test_dcfg_requires_metadata;
@@ -335,4 +369,5 @@ let suite =
     Alcotest.test_case "wpa: incremental layout cache" `Quick test_incremental_layout_cache;
     Alcotest.test_case "wpa: resource model" `Quick test_wpa_resource_model;
     Alcotest.test_case "pipeline: multi-round" `Slow test_run_rounds;
+    Alcotest.test_case "wpa: shard-drop accounting" `Quick test_wpa_shard_drop_accounting;
   ]

@@ -170,7 +170,9 @@ let jobs_invariance_law =
       let run jobs =
         Support.Pool.with_pool ~jobs (fun pool ->
             let recorder = Obs.Recorder.create () in
-            let env = Buildsys.Driver.make_env ~recorder ~pool () in
+            let env =
+              Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ~pool ()) ()
+            in
             let r =
               Propeller.Pipeline.run
                 ~config:
@@ -190,6 +192,56 @@ let jobs_invariance_law =
       && Support.Digesting.equal d1 d8
       && Float.equal s1 s2 && Float.equal s1 s8)
 
+(* The fault-tolerance contract (ISSUE 5): a seeded fault plan replays
+   byte-identically, and unless something actually degraded (a fallback
+   object or a hot function lost to a dropped shard), the faulted
+   pipeline produces exactly the fault-free image. *)
+let fault_tolerance_law =
+  QCheck.Test.make ~count:5
+    ~name:"faulted relink: replay identical; degraded=0 => fault-free digest"
+    QCheck.(pair program_arb (int_range 1 10_000))
+    (fun (input, fault_seed) ->
+      let program = make_program input in
+      let plan =
+        {
+          Faultsim.Plan.default with
+          seed = fault_seed;
+          action_fail = 0.3;
+          persist = 0.15;
+          straggle = 0.2;
+          corrupt = 0.3;
+          shard_drop = 0.2;
+          shards = 8;
+        }
+      in
+      let run faults =
+        let recorder = Obs.Recorder.create () in
+        let env =
+          Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ?faults ()) ()
+        in
+        let r =
+          Propeller.Pipeline.run
+            ~config:
+              {
+                Propeller.Pipeline.default_config with
+                profile_run = { Exec.Interp.default_config with requests = 10 };
+              }
+            ~env ~program ~name:"law" ()
+        in
+        let degraded =
+          r.metadata_build.faults.degraded + r.optimized_build.faults.degraded
+          + r.wpa.dropped_hot_funcs
+        in
+        (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary r), degraded)
+      in
+      let d0, deg0 = run None in
+      let d1, deg1 = run (Some plan) in
+      let d2, deg2 = run (Some plan) in
+      deg0 = 0
+      && Support.Digesting.equal d1 d2
+      && deg1 = deg2
+      && (deg1 > 0 || Support.Digesting.equal d0 d1))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest relayout_invariance_law;
@@ -198,4 +250,5 @@ let suite =
     QCheck_alcotest.to_alcotest relax_monotone_law;
     QCheck_alcotest.to_alcotest pipeline_no_regression_law;
     QCheck_alcotest.to_alcotest jobs_invariance_law;
+    QCheck_alcotest.to_alcotest fault_tolerance_law;
   ]
