@@ -12,8 +12,13 @@
    v4: per-benchmark "resilience" object — a seeded fault-injection
    replay (retry/degradation counts, replay consistency, and the
    degraded=0 => fault-free-digest invariant). Informational only and
-   fully deterministic. *)
-let schema_version = 4
+   fully deterministic.
+   v5: per-benchmark "selfspeed" object — how fast the *optimizer*
+   itself runs on this machine: warm relinks/sec, simulated
+   requests/sec, allocation per relink. Wall-clock, so NOT byte-stable;
+   relinks_per_sec and requests_per_sec are judged by Compare with a
+   10x-widened tolerance (ROADMAP item 4's raw-speed trajectory). *)
+let schema_version = 5
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -172,6 +177,51 @@ let resilience_json (spec : Progen.Spec.t) =
         Obs.Json.Bool (degraded_total > 0 || String.equal d1 clean_digest) );
     ]
 
+let selfspeed_reps = 3
+
+(* The optimizer-speed drill: one cold pipeline run to warm the relink
+   caches, then [selfspeed_reps] timed warm reruns (the steady-state
+   iteration loop a developer actually sits in), then one timed
+   simulator pass over the optimized image. GC words are read around
+   the timed reps so allocation is attributed per warm relink. *)
+let selfspeed_json (spec : Progen.Spec.t) =
+  let program = Codegen.Inline.program (Progen.Generate.program spec) in
+  let config = Workbench.pipeline_config spec in
+  Support.Pool.with_pool ~jobs:1 (fun pool ->
+      let recorder = Obs.Recorder.create () in
+      let env =
+        Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ~pool ()) ()
+      in
+      let cold = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
+      let gc0 = Obs.Hostclock.gc_snapshot () in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to selfspeed_reps do
+        ignore
+          (Propeller.Pipeline.run ~config ~env ~program ~name:spec.name ()
+            : Propeller.Pipeline.result)
+      done;
+      let relink_s = Unix.gettimeofday () -. t0 in
+      let gc1 = Obs.Hostclock.gc_snapshot () in
+      let alloc_per_relink =
+        Obs.Hostclock.allocated_words (Obs.Hostclock.gc_delta ~before:gc0 ~after:gc1)
+        /. float_of_int selfspeed_reps
+      in
+      let image = Exec.Image.build program (Propeller.Pipeline.optimized_binary cold) in
+      let t1 = Unix.gettimeofday () in
+      let stats = Exec.Interp.run image (Workbench.interp_config spec) Exec.Event.null in
+      let interp_s = Unix.gettimeofday () -. t1 in
+      let per_sec dur n = if dur > 0.0 then float_of_int n /. dur else 0.0 in
+      Obs.Json.Obj
+        [
+          ("warm_relinks_timed", Obs.Json.Int selfspeed_reps);
+          ("relinks_per_sec", Obs.Json.Float (per_sec relink_s selfspeed_reps));
+          ( "requests_per_sec",
+            Obs.Json.Float (per_sec interp_s stats.Exec.Interp.requests_completed) );
+          ("alloc_words_per_relink", Obs.Json.Float alloc_per_relink);
+          ("relink_wall_s", Obs.Json.Float relink_s);
+          ("interp_wall_s", Obs.Json.Float interp_s);
+        ])
+
 let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
   let wb = Workbench.get spec in
   let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
@@ -211,6 +261,7 @@ let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
           Obs.Json.Obj
             [ ("base", counters_json base); ("propeller", counters_json prop) ] );
         ("resilience", resilience_json spec);
+        ("selfspeed", selfspeed_json spec);
       ]
       @
       match parallel_json spec ~jobs_sweep with

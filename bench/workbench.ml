@@ -100,7 +100,10 @@ let measure wb variant =
   | None ->
     let image = Exec.Image.build wb.program (binary wb variant) in
     let core = Uarch.Core.create (core_config wb.spec) in
-    let stats = Exec.Interp.run image (interp_config wb.spec) (Uarch.Core.sink core) in
+    let stats =
+      Exec.Interp.run ~ctx:wb.env.Buildsys.Driver.ctx image (interp_config wb.spec)
+        (Uarch.Core.sink core)
+    in
     let m = { stats; counters = Uarch.Core.counters core } in
     wb.measured <- (key, m) :: wb.measured;
     m

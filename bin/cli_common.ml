@@ -50,25 +50,49 @@ let metrics_out_term =
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the metrics report as JSON to $(docv).")
 
+let self_profile_term =
+  Arg.(
+    value
+    & flag
+    & info [ "self-profile" ]
+        ~doc:
+          "Record host wall-clock and GC deltas per span and print the tool's own hotspot \
+           table after the run. Never perturbs simulated metrics or image digests.")
+
+let self_profile_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "self-profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the self-profile (per-path host seconds, allocation, GC counts) as JSON \
+           to $(docv). Implies $(b,--self-profile).")
+
 let benchmark_term =
   Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
 
 let requests_term =
   Arg.(value & opt (some int) None & info [ "r"; "requests" ] ~doc:"Workload requests override.")
 
-(* The five shared flags bundled, for tools whose subcommands all take
-   them (propeller_inspect). *)
+(* The shared flags bundled, for tools whose subcommands all take them
+   (propeller_inspect). *)
 type common = {
   jobs : int option;
   seed : int option;
   faults : string option;
   trace : string option;
   metrics_out : string option;
+  self_profile : bool;
+  self_profile_out : string option;
 }
 
 let common_term =
-  let make jobs seed faults trace metrics_out = { jobs; seed; faults; trace; metrics_out } in
-  Term.(const make $ jobs_term $ seed_term $ faults_term $ trace_term $ metrics_out_term)
+  let make jobs seed faults trace metrics_out self_profile self_profile_out =
+    { jobs; seed; faults; trace; metrics_out; self_profile; self_profile_out }
+  in
+  Term.(
+    const make $ jobs_term $ seed_term $ faults_term $ trace_term $ metrics_out_term
+    $ self_profile_term $ self_profile_out_term)
 
 let write_file file contents =
   match open_out file with
@@ -95,7 +119,8 @@ let lookup_spec ~benchmark ~requests =
 (* Turn the shared flags into the run's execution context: validate and
    apply --jobs to the global pool, parse --faults (exit 2 on a bad
    spec), and let --seed override the plan's seed. *)
-let context ?(jobs = None) ?(seed = None) ?(faults = None) () =
+let context ?(jobs = None) ?(seed = None) ?(faults = None) ?(self_profile = false)
+    ?(self_profile_out = None) () =
   (match jobs with
   | Some j when j < 1 ->
     Printf.eprintf "--jobs: expected a positive pool width, got %d\n" j;
@@ -115,9 +140,14 @@ let context ?(jobs = None) ?(seed = None) ?(faults = None) () =
         | Some s -> Some { p with Faultsim.Plan.seed = s }
         | None -> Some p))
   in
-  Support.Ctx.create ?faults:plan ()
+  let ctx = Support.Ctx.create ?faults:plan () in
+  if self_profile || self_profile_out <> None then
+    Obs.Recorder.enable_self_profile ctx.Support.Ctx.recorder;
+  ctx
 
-let context_of_common c = context ~jobs:c.jobs ~seed:c.seed ~faults:c.faults ()
+let context_of_common c =
+  context ~jobs:c.jobs ~seed:c.seed ~faults:c.faults ~self_profile:c.self_profile
+    ~self_profile_out:c.self_profile_out ()
 
 (* Export the run's recorder as the shared flags request. The trace is
    re-parsed with our own JSON parser before it leaves the tool, so the
@@ -141,6 +171,44 @@ let export_recorder recorder ~trace ~metrics_out =
   | Some file ->
     write_file file (Obs.Recorder.metrics_json recorder);
     Printf.printf "metrics: %s\n" file
+
+(* Export / render the self-profile as the shared flags request. Same
+   validate-before-leaving discipline as the trace export. *)
+let export_self_profile recorder ~self_profile ~self_profile_out =
+  if self_profile || self_profile_out <> None then begin
+    let sp = Obs.Recorder.selfprof recorder in
+    (match self_profile_out with
+    | None -> ()
+    | Some file ->
+      let contents = Obs.Json.to_string (Obs.Selfprof.to_json sp) ^ "\n" in
+      write_file file contents;
+      (match Obs.Json.parse contents with
+      | Ok _ -> Printf.printf "self-profile: %s (valid JSON)\n" file
+      | Error e ->
+        Printf.eprintf "self-profile: INVALID JSON written to %s: %s\n" file e;
+        exit 1));
+    let hotspots = Obs.Selfprof.hotspots ~limit:10 sp in
+    if hotspots <> [] then begin
+      print_endline "self-profile hotspots (host time, coordinator domain):";
+      print_string (Obs.Selfprof.render_hotspots hotspots)
+    end
+  end
+
+(* Run [f] under the flight recorder's crash guard: on any exception the
+   recorder's last-K event ring is dumped to stderr before the exception
+   propagates, so a crash report carries the run's final moments. *)
+let with_flight_guard recorder f =
+  try f ()
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    prerr_string (Obs.Recorder.flight_dump recorder);
+    Printexc.raise_with_backtrace exn bt
+
+(* Dump the flight ring when a run degraded (fault path taken): the
+   events leading up to the degradation are exactly what a postmortem
+   wants, and the dump is deterministic under replay. *)
+let flight_dump_on_degradation recorder (f : Buildsys.Driver.fault_stats) =
+  if f.Buildsys.Driver.degraded > 0 then print_string (Obs.Recorder.flight_dump recorder)
 
 (* Sum the fault accounting of several builds (a pipeline run holds a
    metadata build and an optimized build). *)

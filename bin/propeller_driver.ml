@@ -7,8 +7,9 @@
 open Cmdliner
 
 let run benchmark requests interproc no_split hugepages prefetch jobs seed faults verbose
-    trace_file metrics metrics_out =
-  let ctx = Cli_common.context ~jobs ~seed ~faults () in
+    trace_file metrics metrics_out self_profile self_profile_out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
+  Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
   Printf.printf "generating %s (scale %d:1)...\n%!" spec.name spec.scale;
   let program = Progen.Generate.program spec in
@@ -43,13 +44,15 @@ let run benchmark requests interproc no_split hugepages prefetch jobs seed fault
   Printf.printf "image digest: %s\n"
     (Support.Digesting.to_hex
        (Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary result)));
-  if Support.Ctx.faults_active ctx then
+  let fault_totals =
+    Cli_common.sum_fault_stats result.metadata_build.faults result.optimized_build.faults
+  in
+  if Support.Ctx.faults_active ctx then begin
     print_endline
-      (Cli_common.resilience_line
-         (Cli_common.sum_fault_stats result.metadata_build.faults
-            result.optimized_build.faults)
-         ~shards_dropped:result.wpa.shards_dropped
+      (Cli_common.resilience_line fault_totals ~shards_dropped:result.wpa.shards_dropped
          ~dropped_hot_funcs:result.wpa.dropped_hot_funcs);
+    Cli_common.flight_dump_on_degradation ctx.Support.Ctx.recorder fault_totals
+  end;
   (match result.prefetch with
   | Some p ->
     Printf.printf "prefetch (3.5): %d insertion sites covering %d/%d sampled misses\n"
@@ -67,7 +70,7 @@ let run benchmark requests interproc no_split hugepages prefetch jobs seed fault
       Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
     in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run image
+      Exec.Interp.run ~ctx image
         { Exec.Interp.default_config with requests = spec.requests }
         (Uarch.Core.sink core)
     in
@@ -87,7 +90,8 @@ let run benchmark requests interproc no_split hugepages prefetch jobs seed fault
        (float_of_int cb.b2_taken_branches));
   let recorder = Buildsys.Driver.recorder env in
   if metrics then print_string (Obs.Recorder.metrics_report recorder);
-  Cli_common.export_recorder recorder ~trace:trace_file ~metrics_out
+  Cli_common.export_recorder recorder ~trace:trace_file ~metrics_out;
+  Cli_common.export_self_profile recorder ~self_profile ~self_profile_out
 
 let interproc =
   Arg.(value & flag & info [ "interproc" ] ~doc:"Inter-procedural layout (paper 4.7).")
@@ -111,6 +115,7 @@ let cmd =
       const run $ Cli_common.benchmark_term $ Cli_common.requests_term $ interproc $ no_split
       $ hugepages $ prefetch $ Cli_common.jobs_term $ Cli_common.seed_term
       $ Cli_common.faults_term $ verbose $ Cli_common.trace_term $ metrics
-      $ Cli_common.metrics_out_term)
+      $ Cli_common.metrics_out_term $ Cli_common.self_profile_term
+      $ Cli_common.self_profile_out_term)
 
 let () = exit (Cmd.eval cmd)

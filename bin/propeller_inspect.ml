@@ -41,6 +41,8 @@ let make_ctx benchmark requests (common : Cli_common.common) quiet =
   let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
   Cli_common.export_recorder (Buildsys.Driver.recorder env) ~trace:common.trace
     ~metrics_out:common.metrics_out;
+  Cli_common.export_self_profile (Buildsys.Driver.recorder env)
+    ~self_profile:common.self_profile ~self_profile_out:common.self_profile_out;
   {
     spec;
     program;
@@ -62,6 +64,8 @@ let profile_of ctx binary =
       { Exec.Interp.default_config with requests = ctx.spec.Progen.Spec.requests }
       (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
   in
+  (* [ctx] here is the inspection context, not a [Support.Ctx.t]; the
+     run stays on the global recorder's "exec:run" span. *)
   profile
 
 (* Every emitted JSON document round-trips through the parser before it

@@ -25,15 +25,17 @@ let measure ~(spec : Progen.Spec.t) ~ctx ~run_name program binary =
       }
   in
   let (_ : Exec.Interp.stats) =
-    Exec.Interp.run image
+    Exec.Interp.run ~ctx image
       { Exec.Interp.default_config with requests = spec.requests }
       (Uarch.Core.sink core)
   in
   Uarch.Core.publish ~ctx ~name:run_name core;
   Uarch.Core.counters core
 
-let run_stat benchmark requests jobs seed faults json out trace metrics_out =
-  let ctx = Cli_common.context ~jobs ~seed ~faults () in
+let run_stat benchmark requests jobs seed faults json out trace metrics_out self_profile
+    self_profile_out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
+  Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
   begin
     if not json then Printf.printf "running pipeline on %s...\n%!" spec.name;
@@ -63,13 +65,16 @@ let run_stat benchmark requests jobs seed faults json out trace metrics_out =
         (Buildsys.Cache.hits env.Buildsys.Driver.obj_cache)
         (Buildsys.Cache.misses env.Buildsys.Driver.obj_cache)
         (Support.Pool.jobs (Buildsys.Driver.pool env));
-    if Support.Ctx.faults_active ctx && not json then
-      print_endline
-        (Cli_common.resilience_line
-           (Cli_common.sum_fault_stats result.metadata_build.faults
-              result.optimized_build.faults)
-           ~shards_dropped:result.wpa.shards_dropped
-           ~dropped_hot_funcs:result.wpa.dropped_hot_funcs);
+    (if Support.Ctx.faults_active ctx && not json then begin
+       let fault_totals =
+         Cli_common.sum_fault_stats result.metadata_build.faults
+           result.optimized_build.faults
+       in
+       print_endline
+         (Cli_common.resilience_line fault_totals ~shards_dropped:result.wpa.shards_dropped
+            ~dropped_hot_funcs:result.wpa.dropped_hot_funcs);
+       Cli_common.flight_dump_on_degradation recorder fault_totals
+     end);
     let rendered =
       if json then Obs.Json.to_string (Diagnostics.Report.to_json report) ^ "\n"
       else Diagnostics.Report.to_text report
@@ -79,7 +84,8 @@ let run_stat benchmark requests jobs seed faults json out trace metrics_out =
       Cli_common.write_file file rendered;
       Printf.printf "diagnostics: %s\n" file
     | None -> print_string rendered);
-    Cli_common.export_recorder recorder ~trace ~metrics_out
+    Cli_common.export_recorder recorder ~trace ~metrics_out;
+    Cli_common.export_self_profile recorder ~self_profile ~self_profile_out
   end
 
 let read_json label file =
@@ -116,6 +122,52 @@ let run_diff baseline_file current_file threshold quiet =
       exit 1
     end
 
+(* [top]: rank the tool's own hotspots — where does *our* host time and
+   allocation go while optimizing a benchmark? Reads a saved
+   --self-profile-out JSON when given, otherwise runs the pipeline with
+   self-profiling on and ranks that run. *)
+let run_top from benchmark requests jobs limit folded =
+  match from with
+  | Some file -> (
+    let v = read_json "self-profile" file in
+    match Obs.Selfprof.rows_of_json v with
+    | Error e ->
+      Printf.eprintf "self-profile %s: %s\n" file e;
+      exit 2
+    | Ok rows ->
+      if folded then
+        List.iter
+          (fun (r : Obs.Selfprof.row) ->
+            Printf.printf "%s %.0f\n" r.path (r.self_host_s *. 1e6))
+          rows
+      else
+        print_string
+          (Obs.Selfprof.render_hotspots (Obs.Selfprof.hotspots_of_rows ~limit rows)))
+  | None ->
+    let ctx = Cli_common.context ~jobs ~self_profile:true () in
+    let recorder = ctx.Support.Ctx.recorder in
+    let spec = Cli_common.lookup_spec ~benchmark ~requests in
+    Printf.printf "profiling ourselves on %s...\n%!" spec.name;
+    let program = Progen.Generate.program spec in
+    let env = Buildsys.Driver.make_env ~ctx () in
+    let config =
+      {
+        Propeller.Pipeline.default_config with
+        profile_run = { Exec.Interp.default_config with requests = spec.requests };
+        hugepages = spec.hugepages;
+      }
+    in
+    let (_ : Propeller.Pipeline.result) =
+      Propeller.Pipeline.run ~config ~env ~program ~name:spec.name ()
+    in
+    if folded then print_string (Obs.Selfprof.folded (Obs.Recorder.selfprof recorder))
+    else begin
+      print_endline "self-profile hotspots (host time, coordinator domain):";
+      print_string
+        (Obs.Selfprof.render_hotspots
+           (Obs.Selfprof.hotspots ~limit (Obs.Recorder.selfprof recorder)))
+    end
+
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
 
 let out =
@@ -128,7 +180,8 @@ let run_term =
   Term.(
     const run_stat $ Cli_common.benchmark_term $ Cli_common.requests_term $ Cli_common.jobs_term
     $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out $ Cli_common.trace_term
-    $ Cli_common.metrics_out_term)
+    $ Cli_common.metrics_out_term $ Cli_common.self_profile_term
+    $ Cli_common.self_profile_out_term)
 
 let run_cmd =
   Cmd.v
@@ -159,10 +212,39 @@ let diff_cmd =
           or goes missing.")
     Term.(const run_diff $ baseline_arg $ current_arg $ threshold $ quiet)
 
+let from_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "from" ] ~docv:"FILE"
+        ~doc:"Rank a saved $(b,--self-profile-out) JSON instead of running the pipeline.")
+
+let limit_arg =
+  Arg.(value & opt int 10 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows in the hotspot table.")
+
+let folded_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "folded" ]
+        ~doc:
+          "Print flamegraph-compatible folded stacks (one $(b,path weight) line per span \
+           path, weight in self microseconds) instead of the table.")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Rank the optimizer's own hotspots: host seconds and allocation per span path, \
+          from a saved self-profile or a fresh self-profiled run.")
+    Term.(
+      const run_top $ from_arg $ Cli_common.benchmark_term $ Cli_common.requests_term
+      $ Cli_common.jobs_term $ limit_arg $ folded_arg)
+
 let cmd =
   Cmd.group ~default:run_term
     (Cmd.info "propeller_stat"
        ~doc:"Profile-quality diagnostics and bench regression comparison")
-    [ run_cmd; diff_cmd ]
+    [ run_cmd; diff_cmd; top_cmd ]
 
 let () = exit (Cmd.eval cmd)

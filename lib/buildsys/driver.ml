@@ -27,9 +27,6 @@ let make_env ?(workers = 256) ?mem_limit ?ctx () =
     corrupted = Hashtbl.create 64;
   }
 
-let make_env_legacy ?workers ?mem_limit ?recorder ?pool () =
-  make_env ?workers ?mem_limit ~ctx:(Support.Ctx.create ?recorder ?pool ()) ()
-
 type fault_stats = {
   injected : int;
   retried : int;
@@ -193,6 +190,7 @@ let build env ~name ~program ~codegen_options ~link_options =
     let n = Array.length units in
     (* Action keys: pure per-unit digesting, fanned out on the pool. *)
     let keys =
+      Obs.Recorder.with_span r "digest" @@ fun () ->
       Support.Pool.map_array pool n (fun i -> unit_action_key units.(i) codegen_options)
     in
     (* Sequential cache pass in unit order: all Cache state (hit/miss
@@ -203,13 +201,16 @@ let build env ~name ~program ~codegen_options ~link_options =
     let pending : (Support.Digesting.t, unit) Hashtbl.t = Hashtbl.create 64 in
     let miss_units = ref [] and num_miss = ref 0 in
     let slots =
+      Obs.Recorder.with_span r "cache_pass" @@ fun () ->
       Array.init n (fun i ->
           let key = keys.(i) in
           if Hashtbl.mem pending key then Dup
           else
             let outcome = Cache.find_verified env.obj_cache key ~digest_of:obj_digest in
             (match outcome with
-            | `Corrupt -> incr corrupt_evicted
+            | `Corrupt ->
+              incr corrupt_evicted;
+              Obs.Recorder.flight_note r "fault.cache_corrupt" units.(i).Ir.Cunit.name
             | `Hit _ | `Miss -> ());
             match outcome with
             | `Hit obj -> Hit obj
@@ -223,6 +224,7 @@ let build env ~name ~program ~codegen_options ~link_options =
     let miss_units = Array.of_list (List.rev !miss_units) in
     (* Backend fan-out: compile every missed unit across the pool. *)
     let compiled =
+      Obs.Recorder.with_span r "compile" @@ fun () ->
       Support.Pool.map_array pool (Array.length miss_units) (fun j ->
           Codegen.compile_unit ~ctx:env.ctx codegen_options miss_units.(j))
     in
@@ -274,6 +276,7 @@ let build env ~name ~program ~codegen_options ~link_options =
                  done;
                  incr fallbacks;
                  incr degraded;
+                 Obs.Recorder.flight_note r "fault.fallback" u.Ir.Cunit.name;
                  let obj = Hashtbl.find env.last_good u.Ir.Cunit.name in
                  Hashtbl.replace fallback_keys keys.(i) obj;
                  obj
@@ -327,6 +330,7 @@ let build env ~name ~program ~codegen_options ~link_options =
            slots)
     in
     let report =
+      Obs.Recorder.with_span r "schedule" @@ fun () ->
       Scheduler.schedule ?mem_limit:env.mem_limit ?faults:plan ~workers:env.workers
         (List.rev !actions)
     in

@@ -65,15 +65,6 @@ val pool : env -> Support.Pool.t
     for any pool width. *)
 val make_env : ?workers:int -> ?mem_limit:int -> ?ctx:Support.Ctx.t -> unit -> env
 
-val make_env_legacy :
-  ?workers:int ->
-  ?mem_limit:int ->
-  ?recorder:Obs.Recorder.t ->
-  ?pool:Support.Pool.t ->
-  unit ->
-  env
-[@@ocaml.deprecated "use make_env ?ctx — ?recorder/?pool collapsed into Support.Ctx.t"]
-
 (** Fault accounting of one build. All zero ({!no_faults}) when the
     env's context carries no active plan. *)
 type fault_stats = {

@@ -116,7 +116,3 @@ let ctx_pool = Option.map (fun c -> c.Support.Ctx.pool)
 let compile_unit ?ctx options u = compile_unit_with ?pool:(ctx_pool ctx) options u
 
 let compile_program ?ctx options p = compile_program_with ?pool:(ctx_pool ctx) options p
-
-let compile_unit_legacy ?pool options u = compile_unit_with ?pool options u
-
-let compile_program_legacy ?pool options p = compile_program_with ?pool options p

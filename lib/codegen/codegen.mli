@@ -52,10 +52,3 @@ val compile_unit : ?ctx:Support.Ctx.t -> options -> Ir.Cunit.t -> Objfile.File.t
 (** [compile_program ?ctx options p] compiles every unit, fanning out
     across units when a context is given. *)
 val compile_program : ?ctx:Support.Ctx.t -> options -> Ir.Program.t -> Objfile.File.t list
-
-val compile_unit_legacy : ?pool:Support.Pool.t -> options -> Ir.Cunit.t -> Objfile.File.t
-[@@ocaml.deprecated "use compile_unit ?ctx — ?pool collapsed into Support.Ctx.t"]
-
-val compile_program_legacy :
-  ?pool:Support.Pool.t -> options -> Ir.Program.t -> Objfile.File.t list
-[@@ocaml.deprecated "use compile_program ?ctx — ?pool collapsed into Support.Ctx.t"]

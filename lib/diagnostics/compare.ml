@@ -1,5 +1,7 @@
 type direction = Higher | Lower
 
+type rule = { suffix : string; direction : direction; tolerance_scale : float }
+
 type verdict = {
   metric : string;
   baseline : float;
@@ -10,19 +12,25 @@ type verdict = {
   improved : bool;
 }
 
-type outcome = { verdicts : verdict list; missing : string list }
+type outcome = { verdicts : verdict list; missing : string list; notes : string list }
 
+(* Wall-clock judged metrics (the selfspeed group) carry a widened
+   tolerance: machine noise moves them tens of percent run to run, so
+   only order-of-magnitude collapses should gate. *)
 let judged =
+  let r ?(scale = 1.0) suffix direction = { suffix; direction; tolerance_scale = scale } in
   [
-    ("speedup_pct.propeller", Higher);
-    ("speedup_pct.bolt", Higher);
-    ("summary.geomean_speedup_propeller", Higher);
-    ("profile_quality.block_coverage", Higher);
-    ("profile_quality.byte_coverage", Higher);
-    ("profile_quality.mismatch_rate", Lower);
-    ("layout_quality.exttsp_norm", Higher);
-    ("layout_quality.fall_through_rate", Higher);
-    ("layout_quality.blocks_missing", Lower);
+    r "speedup_pct.propeller" Higher;
+    r "speedup_pct.bolt" Higher;
+    r "summary.geomean_speedup_propeller" Higher;
+    r "profile_quality.block_coverage" Higher;
+    r "profile_quality.byte_coverage" Higher;
+    r "profile_quality.mismatch_rate" Lower;
+    r "layout_quality.exttsp_norm" Higher;
+    r "layout_quality.fall_through_rate" Higher;
+    r "layout_quality.blocks_missing" Lower;
+    r ~scale:10.0 "selfspeed.relinks_per_sec" Higher;
+    r ~scale:10.0 "selfspeed.requests_per_sec" Higher;
   ]
 
 (* Flatten numeric leaves to dotted paths. List elements keyed by their
@@ -49,10 +57,10 @@ let flatten json =
   go "" json;
   out
 
-let suffix_matches key (suffix, _) =
-  let lk = String.length key and ls = String.length suffix in
+let suffix_matches key rule =
+  let lk = String.length key and ls = String.length rule.suffix in
   lk >= ls
-  && String.sub key (lk - ls) ls = suffix
+  && String.sub key (lk - ls) ls = rule.suffix
   && (lk = ls || key.[lk - ls - 1] = '.')
 
 let judge key = List.find_opt (suffix_matches key) judged
@@ -68,9 +76,23 @@ let compare ?(threshold_pct = 5.0) ~baseline ~current () =
     match (schema_version baseline, schema_version current) with
     | Error e, _ -> Error ("baseline: " ^ e)
     | _, Error e -> Error ("current: " ^ e)
-    | Ok vb, Ok vc when vb <> vc ->
-      Error (Printf.sprintf "schema_version mismatch: baseline %d vs current %d" vb vc)
-    | Ok _, Ok _ ->
+    | Ok vb, Ok vc when vb > vc ->
+      (* An older current file against a newer baseline cannot be the
+         intended comparison direction; refuse rather than silently
+         judge a subset. *)
+      Error
+        (Printf.sprintf "schema_version mismatch: baseline %d is newer than current %d" vb
+           vc)
+    | Ok vb, Ok vc ->
+      let notes = ref [] in
+      if vb < vc then
+        notes :=
+          [
+            Printf.sprintf
+              "baseline schema v%d predates current v%d; judged metrics absent from the \
+               baseline are informational, not regressions"
+              vb vc;
+          ];
       let fb = flatten baseline and fc = flatten current in
       let keys =
         Hashtbl.fold (fun k _ acc -> k :: acc) fb [] |> List.sort String.compare
@@ -80,7 +102,7 @@ let compare ?(threshold_pct = 5.0) ~baseline ~current () =
         (fun key ->
           match judge key with
           | None -> ()
-          | Some (_, direction) -> (
+          | Some rule -> (
             let base = Hashtbl.find fb key in
             match Hashtbl.find_opt fc key with
             | None -> missing := key :: !missing
@@ -88,21 +110,37 @@ let compare ?(threshold_pct = 5.0) ~baseline ~current () =
               let denom = Float.max (Float.abs base) 1.0 in
               let delta_pct = (cur -. base) /. denom *. 100.0 in
               let worse =
-                match direction with Higher -> -.delta_pct | Lower -> delta_pct
+                match rule.direction with Higher -> -.delta_pct | Lower -> delta_pct
               in
+              let effective = threshold_pct *. rule.tolerance_scale in
               verdicts :=
                 {
                   metric = key;
                   baseline = base;
                   current = cur;
                   delta_pct;
-                  direction;
-                  regressed = worse > threshold_pct;
-                  improved = -.worse > threshold_pct;
+                  direction = rule.direction;
+                  regressed = worse > effective;
+                  improved = -.worse > effective;
                 }
                 :: !verdicts))
         keys;
-      Ok { verdicts = List.rev !verdicts; missing = List.rev !missing })
+      (* Judged keys the current file gained over an older baseline:
+         nothing to diff against, so note them instead of judging. *)
+      let gained =
+        Hashtbl.fold
+          (fun k v acc ->
+            if judge k <> None && not (Hashtbl.mem fb k) then (k, v) :: acc else acc)
+          fc []
+        |> List.sort Stdlib.compare
+      in
+      List.iter
+        (fun (k, v) ->
+          notes :=
+            Printf.sprintf "%s = %g is new in the current schema (no baseline value)" k v
+            :: !notes)
+        gained;
+      Ok { verdicts = List.rev !verdicts; missing = List.rev !missing; notes = List.rev !notes })
   | _ -> Error "bench JSON must be an object at top level"
 
 let regressions o = List.filter (fun v -> v.regressed) o.verdicts
@@ -123,6 +161,7 @@ let render o =
   List.iter
     (fun k -> Buffer.add_string buf (Printf.sprintf "MISSING   %s (present in baseline)\n" k))
     o.missing;
-  (if o.verdicts = [] && o.missing = [] then
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "NOTE      %s\n" n)) o.notes;
+  (if o.verdicts = [] && o.missing = [] && o.notes = [] then
      Buffer.add_string buf "no judged metrics found in baseline\n");
   Buffer.contents buf

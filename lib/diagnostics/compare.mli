@@ -10,9 +10,19 @@
 
     A judged metric present in the baseline but absent from the current
     file is reported in [missing] and fails {!ok} — schema erosion is a
-    regression too. *)
+    regression too. The reverse is tolerated: a baseline whose
+    [schema_version] predates the current file's compares the judged
+    metrics both sides have and reports the rest in [notes]
+    (informational), so extending the schema never forces a flag-day
+    baseline regeneration. *)
 
 type direction = Higher | Lower  (** Which way is better. *)
+
+(** One allowlist entry. [tolerance_scale] multiplies the caller's
+    threshold for this metric — wall-clock metrics (selfspeed) use 10.0
+    so machine noise doesn't gate, while a real order-of-magnitude
+    collapse still does. *)
+type rule = { suffix : string; direction : direction; tolerance_scale : float }
 
 type verdict = {
   metric : string;  (** Flattened path. *)
@@ -30,14 +40,19 @@ type verdict = {
 type outcome = {
   verdicts : verdict list;  (** Judged metrics present in both files. *)
   missing : string list;  (** Judged metrics the current file lost. *)
+  notes : string list;
+      (** Informational: schema-skew explanation and judged metrics the
+          current file gained over an older baseline. Never fail {!ok}. *)
 }
 
-(** The allowlist of judged metrics: (path suffix, better direction). *)
-val judged : (string * direction) list
+(** The allowlist of judged metrics. *)
+val judged : rule list
 
 (** [compare ?threshold_pct ~baseline ~current] diffs two parsed bench
-    JSON trees. Errors on schema_version mismatch or non-object input.
-    [threshold_pct] defaults to 5.0. *)
+    JSON trees. Errors on non-object input or when the baseline's
+    schema_version is *newer* than the current file's; an older
+    baseline degrades gracefully (see [notes]). [threshold_pct]
+    defaults to 5.0. *)
 val compare :
   ?threshold_pct:float ->
   baseline:Obs.Json.t ->
@@ -49,9 +64,10 @@ val compare :
 val regressions : outcome -> verdict list
 
 (** [ok o] is true when nothing regressed and nothing judged went
-    missing — the comparator's exit-code predicate. *)
+    missing — the comparator's exit-code predicate. [notes] never
+    affect it. *)
 val ok : outcome -> bool
 
 (** [render o] is a plain-text report (one line per judged metric,
-    regressions marked). *)
+    regressions marked, NOTE lines last). *)
 val render : outcome -> string

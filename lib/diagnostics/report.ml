@@ -193,5 +193,3 @@ let publish_with ?recorder t =
 
 let publish ?ctx t =
   publish_with ?recorder:(Option.map (fun c -> c.Support.Ctx.recorder) ctx) t
-
-let publish_legacy ?recorder t = publish_with ?recorder t

@@ -59,6 +59,3 @@ val to_text : t -> string
 (** [publish ?ctx t] records every scalar as a [diag.<area>.<metric>]
     gauge on the context's recorder (default: the global one). *)
 val publish : ?ctx:Support.Ctx.t -> t -> unit
-
-val publish_legacy : ?recorder:Obs.Recorder.t -> t -> unit
-[@@ocaml.deprecated "use publish ?ctx — ?recorder collapsed into Support.Ctx.t"]

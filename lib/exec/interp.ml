@@ -142,7 +142,13 @@ let rec exec_func st fi depth =
   in
   exec_block 0
 
-let run image config sink =
+let run ?ctx image config sink =
+  let r =
+    match ctx with
+    | Some c -> c.Support.Ctx.recorder
+    | None -> Obs.Recorder.global
+  in
+  Obs.Recorder.with_span r "exec:run" @@ fun () ->
   let st =
     {
       image;

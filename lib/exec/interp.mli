@@ -39,5 +39,7 @@ type stats = {
     [br_inst_retired.near_taken] proxy (Table 4, B2). *)
 val taken_branches : stats -> int
 
-(** [run image config sink] executes and returns aggregate counters. *)
-val run : Image.t -> config -> Event.sink -> stats
+(** [run ?ctx image config sink] executes and returns aggregate
+    counters, under an ["exec:run"] span on the context's recorder
+    (default {!Obs.Recorder.global}). *)
+val run : ?ctx:Support.Ctx.t -> Image.t -> config -> Event.sink -> stats

@@ -406,6 +406,3 @@ let link ?ctx ?options ~name ~entry objs =
   link_with
     ?recorder:(Option.map (fun c -> c.Support.Ctx.recorder) ctx)
     ?options ~name ~entry objs
-
-let link_legacy ?recorder ?options ~name ~entry objs =
-  link_with ?recorder ?options ~name ~entry objs

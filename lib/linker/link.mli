@@ -53,12 +53,3 @@ val link :
   entry:string ->
   Objfile.File.t list ->
   outcome
-
-val link_legacy :
-  ?recorder:Obs.Recorder.t ->
-  ?options:options ->
-  name:string ->
-  entry:string ->
-  Objfile.File.t list ->
-  outcome
-[@@ocaml.deprecated "use link ?ctx — ?recorder collapsed into Support.Ctx.t"]

@@ -1,0 +1,34 @@
+(** The host clock: real (wall) time and GC accounting, as opposed to
+    the simulated {!Clock} everything else in [obs] runs on.
+
+    Host time is what the self-profiler ({!Selfprof}) attributes to
+    spans — where the *simulator itself* burns seconds and allocation,
+    not where the modelled warehouse build does. Host timestamps are
+    informational by definition: they differ run to run, and nothing
+    deterministic (metrics, traces, digests) may depend on them. *)
+
+(** [now ()] is host wall-clock time in seconds, monotonically
+    non-decreasing across calls (a backwards step of the underlying
+    clock is clamped). *)
+val now : unit -> float
+
+(** One reading of the GC counters ([Gc.quick_stat], cheap: no heap
+    walk). Word counts cover the calling domain's minor allocation plus
+    the shared major heap. *)
+type gc_snapshot = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val gc_snapshot : unit -> gc_snapshot
+
+(** [gc_delta ~before ~after] is the per-field difference, clamped at
+    zero so aggregates stay monotonic. *)
+val gc_delta : before:gc_snapshot -> after:gc_snapshot -> gc_snapshot
+
+(** [allocated_words d] is the net words allocated in a delta:
+    minor + major - promoted (promoted words appear in both totals). *)
+val allocated_words : gc_snapshot -> float

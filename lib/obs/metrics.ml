@@ -47,19 +47,29 @@ type summary = {
 (* Summary statistics, kept local so obs has no library dependencies:
    Support sits *above* obs in the stack (Support.Ctx carries an
    Obs.Recorder.t), so obs cannot call into Support.Stats. The
-   algorithms are identical (same nearest-rank percentile, same
+   algorithms are identical (same interpolated percentile, same
    population stddev), keeping exported summaries byte-stable. *)
 module Summ = struct
   let sum = List.fold_left ( +. ) 0.0
 
   let mean = function [] -> 0.0 | xs -> sum xs /. float_of_int (List.length xs)
 
+  (* Linear interpolation between closest ranks (numpy's "linear").
+     Small samples stay exact: any percentile of 1 sample is that
+     sample, p50 of 2 samples is their midpoint (== median), p100 is
+     the max — the old nearest-rank rule returned the *lower* sample
+     for p50 of 2, disagreeing with [median]. *)
   let percentile p xs =
     let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    arr.(max 0 (min (n - 1) (rank - 1)))
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = max 0 (min (n - 1) (int_of_float (floor rank))) in
+      let hi = min (n - 1) (lo + 1) in
+      arr.(lo) +. ((rank -. float_of_int lo) *. (arr.(hi) -. arr.(lo)))
+    end
 
   let stddev xs =
     let m = mean xs in

@@ -4,7 +4,8 @@
     relaxation sweeps, resolved symbols). Gauges are last-write-wins
     floats (levels: bytes stored, modelled cycles). Histograms collect
     float observations and summarize them with percentile/stddev/median
-    statistics (nearest-rank percentiles, population stddev).
+    statistics (linear-interpolation percentiles — exact for 1–2
+    samples — and population stddev).
 
     Exports are sorted by metric name, so a registry filled by a
     deterministic run serializes byte-identically every time. *)

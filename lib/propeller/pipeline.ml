@@ -101,7 +101,9 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
       if config.prefetch then Exec.Event.tee lbr (Perfmon.Pebs.collector config.pebs pebs_profile)
       else lbr
     in
-    let (_ : Exec.Interp.stats) = Exec.Interp.run image config.profile_run collector in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run ~ctx:env.Buildsys.Driver.ctx image config.profile_run collector
+    in
     Obs.Recorder.advance rec_ profiling_window_seconds;
     Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_samples"
       profile.Perfmon.Lbr.num_samples;

@@ -339,7 +339,3 @@ let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
     shards_dropped;
     dropped_hot_funcs;
   }
-
-let analyze_legacy ?config ?pool ?layout_cache ~profile ~binary () =
-  let ctx = Support.Ctx.create ?pool () in
-  analyze ?config ~ctx ?layout_cache ~profile ~binary ()

@@ -93,13 +93,3 @@ val analyze :
   binary:Linker.Binary.t ->
   unit ->
   result
-
-val analyze_legacy :
-  ?config:config ->
-  ?pool:Support.Pool.t ->
-  ?layout_cache:(Codegen.Directive.func_plan * float) Buildsys.Cache.t ->
-  profile:Perfmon.Lbr.profile ->
-  binary:Linker.Binary.t ->
-  unit ->
-  result
-[@@ocaml.deprecated "use analyze ?ctx — ?pool collapsed into Support.Ctx.t"]

@@ -10,10 +10,8 @@
     telemetry scope, domain pool, pool width, and the fault-injection
     plan of this run — passed explicitly as [?ctx].
 
-    The old per-argument entry points survive one PR as thin
-    [@deprecated] shims ([make_env_legacy], [link_legacy], ...) so
-    out-of-tree callers can migrate incrementally; everything in-tree
-    passes a [Ctx.t]. *)
+    Every entry point takes [?ctx] directly; the transitional
+    [@deprecated] [*_legacy] shims have been removed. *)
 
 type t = {
   recorder : Obs.Recorder.t;  (** Telemetry scope (spans, counters). *)

@@ -10,6 +10,10 @@ let geomean = function
     let logs = List.map (fun x -> if x <= 0.0 then neg_infinity else log x) xs in
     exp (mean logs)
 
+(* Linear interpolation between closest ranks, matching Obs.Metrics'
+   summaries (the two implementations must agree byte for byte; obs
+   cannot depend on this module). Exact for small samples: p of 1
+   sample is that sample, p50 of 2 is their midpoint (== median). *)
 let percentile p xs =
   match xs with
   | [] -> invalid_arg "Stats.percentile: empty"
@@ -17,9 +21,13 @@ let percentile p xs =
     let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    arr.(idx)
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = max 0 (min (n - 1) (int_of_float (floor rank))) in
+      let hi = min (n - 1) (lo + 1) in
+      arr.(lo) +. ((rank -. float_of_int lo) *. (arr.(hi) -. arr.(lo)))
+    end
 
 let stddev = function
   | [] -> 0.0

@@ -6,8 +6,12 @@ val mean : float list -> float
 (** [geomean xs] is the geometric mean of positive values; 0 for empty. *)
 val geomean : float list -> float
 
-(** [percentile p xs] is the [p]-th percentile (0..100) by nearest-rank on
-    a sorted copy; raises [Invalid_argument] on empty input. *)
+(** [percentile p xs] is the [p]-th percentile (0..100) by linear
+    interpolation between closest ranks on a sorted copy (numpy's
+    "linear" method, matching [Obs.Metrics] summaries): exact for small
+    samples — any percentile of a singleton is that sample, and
+    [percentile 50.] equals {!median} for every length. Raises
+    [Invalid_argument] on empty input. *)
 val percentile : float -> float list -> float
 
 (** [sum xs] sums the list. *)
@@ -19,8 +23,7 @@ val stddev : float list -> float
 
 (** [median xs] is the true median: the middle element of a sorted copy,
     or the mean of the two middle elements for even lengths; 0 for the
-    empty list. (Unlike [percentile 50.], which is nearest-rank and
-    always returns an element.) *)
+    empty list (where [percentile] raises). *)
 val median : float list -> float
 
 (** [ratio_pct a b] is [(a - b) / b * 100.], the percent change of [a]

@@ -220,6 +220,7 @@ let counters_assoc (c : counters) =
 
 let publish_with ?recorder ~name t =
   let r = match recorder with Some r -> r | None -> Obs.Recorder.global in
+  Obs.Recorder.with_span r ("uarch:publish:" ^ name) @@ fun () ->
   let c = t.c in
   List.iter
     (fun (counter, v) ->
@@ -229,5 +230,3 @@ let publish_with ?recorder ~name t =
 
 let publish ?ctx ~name t =
   publish_with ?recorder:(Option.map (fun c -> c.Support.Ctx.recorder) ctx) ~name t
-
-let publish_legacy ?recorder ~name t = publish_with ?recorder ~name t

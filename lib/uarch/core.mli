@@ -71,6 +71,3 @@ val counters_assoc : counters -> (string * int) list
     recorder: {!Obs.Recorder.global}). [name] labels the run, e.g.
     ["base"] or ["propeller"]. *)
 val publish : ?ctx:Support.Ctx.t -> name:string -> t -> unit
-
-val publish_legacy : ?recorder:Obs.Recorder.t -> name:string -> t -> unit
-[@@ocaml.deprecated "use publish ?ctx — ?recorder collapsed into Support.Ctx.t"]

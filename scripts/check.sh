@@ -59,13 +59,46 @@ grep -q "buildsys.cache" "$out_dir/metrics.json" || {
   exit 1
 }
 
+echo "== self-profile smoke =="
+# --self-profile-out must emit JSON our own parser accepts (the tool
+# validates and prints the verdict) and a non-empty hotspot table.
+dune exec bin/propeller_driver.exe -- \
+  --benchmark 505.mcf --requests 40 \
+  --self-profile-out "$out_dir/selfprof.json" >"$out_dir/selfprof.log"
+grep -q "self-profile: .*valid JSON" "$out_dir/selfprof.log" || {
+  echo "FAIL: driver did not validate the emitted self-profile" >&2
+  cat "$out_dir/selfprof.log" >&2
+  exit 1
+}
+test -s "$out_dir/selfprof.json" || { echo "FAIL: empty selfprof.json" >&2; exit 1; }
+grep -q '^self-profile hotspots' "$out_dir/selfprof.log" || {
+  echo "FAIL: driver printed no hotspot table" >&2
+  exit 1
+}
+# At least one known phase must rank (the table is never empty on a
+# real run).
+grep -Eq '^(compile|exec:run|link|codegen|phase:wpa) ' "$out_dir/selfprof.log" || {
+  echo "FAIL: hotspot table has no recognizable phase rows" >&2
+  cat "$out_dir/selfprof.log" >&2
+  exit 1
+}
+# propeller_stat top re-reads the exported profile.
+dune exec bin/propeller_stat.exe -- top --from "$out_dir/selfprof.json" -n 5 \
+  >"$out_dir/top.log" || {
+  echo "FAIL: propeller_stat top --from rejected the exported profile" >&2
+  exit 1
+}
+test -s "$out_dir/top.log" || { echo "FAIL: propeller_stat top printed nothing" >&2; exit 1; }
+
 echo "== parallel determinism smoke =="
 # The --jobs contract: the optimized image and the judged metrics are
 # byte-identical at any pool width (traces may differ; they only add
-# per-domain lanes). Run the driver at 4 and 1 and compare.
+# per-domain lanes) — and stay so with self-profiling on, which must
+# never perturb simulated outputs. Run the driver at 4 and 1 and
+# compare.
 for j in 4 1; do
   dune exec bin/propeller_driver.exe -- \
-    --benchmark 505.mcf --requests 40 --jobs "$j" \
+    --benchmark 505.mcf --requests 40 --jobs "$j" --self-profile \
     --metrics-out "$out_dir/metrics_j$j.json" >"$out_dir/driver_j$j.log"
 done
 digest4=$(grep '^image digest:' "$out_dir/driver_j4.log")

@@ -15,6 +15,7 @@ let () =
       ("perfmon", Test_perfmon.suite);
       ("uarch", Test_uarch.suite);
       ("obs", Test_obs.suite);
+      ("selfprof", Test_selfprof.suite);
       ("buildsys", Test_buildsys.suite);
       ("propeller", Test_propeller.suite);
       ("prefetch", Test_prefetch.suite);

@@ -194,12 +194,66 @@ let test_compare_missing_metric () =
 let test_compare_schema_guard () =
   let baseline = bench_json ~prop:10.0 ~cov:0.5 () in
   let current = bench_json ~schema:2 ~prop:10.0 ~cov:0.5 () in
+  (* Older baseline vs newer current: graceful — judged metrics both
+     sides have are still compared, and a NOTE explains the skew. *)
   (match Diagnostics.Compare.compare ~baseline ~current () with
+  | Error e -> Alcotest.failf "older baseline must compare gracefully: %s" e
+  | Ok o ->
+    check tb "ok" true (Diagnostics.Compare.ok o);
+    check ti "verdicts still judged" 3 (List.length o.Diagnostics.Compare.verdicts);
+    check tb "schema-skew note present" true (o.Diagnostics.Compare.notes <> []));
+  (* The reverse direction (newer baseline) is a caller error. *)
+  (match Diagnostics.Compare.compare ~baseline:current ~current:baseline () with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "schema_version mismatch must error");
+  | Ok _ -> Alcotest.fail "newer baseline must error");
   match Diagnostics.Compare.compare ~baseline:Obs.Json.Null ~current:baseline () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-object input must error"
+
+let test_compare_schema_gained_key_noted () =
+  (* A baseline predating the selfspeed group: the current file's new
+     judged metric is reported as a NOTE, not judged and not missing. *)
+  let baseline = bench_json ~prop:10.0 ~cov:0.5 () in
+  let add_selfspeed json v =
+    match json with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+        @ [
+            ( "selfspeed",
+              Obs.Json.Obj [ ("relinks_per_sec", Obs.Json.Float v) ] );
+          ])
+    | _ -> assert false
+  in
+  let current = add_selfspeed (bench_json ~schema:2 ~prop:10.0 ~cov:0.5 ()) 4.2 in
+  let contains_sub s sub =
+    let ls = String.length s and lb = String.length sub in
+    let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+    go 0
+  in
+  let o = run_compare ~baseline ~current () in
+  check tb "ok" true (Diagnostics.Compare.ok o);
+  check ti "nothing missing" 0 (List.length o.Diagnostics.Compare.missing);
+  check tb "gained key noted" true
+    (List.exists
+       (fun n -> contains_sub n "relinks_per_sec")
+       o.Diagnostics.Compare.notes)
+
+let test_compare_selfspeed_widened_tolerance () =
+  (* selfspeed carries a 10x tolerance_scale: a -30% wall-clock wobble
+     passes at the default 5% threshold (effective 50%), while the same
+     move on speedup_pct would regress. A -60% collapse still gates. *)
+  let with_selfspeed v =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int 5);
+        ("selfspeed", Obs.Json.Obj [ ("relinks_per_sec", Obs.Json.Float v) ]);
+      ]
+  in
+  let o = run_compare ~baseline:(with_selfspeed 10.0) ~current:(with_selfspeed 7.0) () in
+  check tb "30% wobble tolerated" true (Diagnostics.Compare.ok o);
+  let o = run_compare ~baseline:(with_selfspeed 10.0) ~current:(with_selfspeed 4.0) () in
+  check tb "60% collapse gated" false (Diagnostics.Compare.ok o)
 
 let suite =
   [
@@ -212,4 +266,7 @@ let suite =
     Alcotest.test_case "compare: improvement passes" `Quick test_compare_improvement_not_flagged;
     Alcotest.test_case "compare: missing metric fails" `Quick test_compare_missing_metric;
     Alcotest.test_case "compare: schema guard" `Quick test_compare_schema_guard;
+    Alcotest.test_case "compare: gained key noted" `Quick test_compare_schema_gained_key_noted;
+    Alcotest.test_case "compare: selfspeed tolerance" `Quick
+      test_compare_selfspeed_widened_tolerance;
   ]

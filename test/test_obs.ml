@@ -94,6 +94,33 @@ let test_histogram_summary () =
     check tf "max" 9.0 s.max;
     check tf "median" 4.5 s.median
 
+(* Interpolated percentiles are exact at tiny sample counts — the
+   single-observation histograms phase timing produces must not report
+   a zero or out-of-range p99. *)
+let test_histogram_small_counts () =
+  let summ vals =
+    let m = Obs.Metrics.create () in
+    List.iter (Obs.Metrics.observe m "h") vals;
+    Option.get (Obs.Metrics.summary m "h")
+  in
+  let s1 = summ [ 7.0 ] in
+  check tf "n=1 median" 7.0 s1.median;
+  check tf "n=1 p90" 7.0 s1.p90;
+  check tf "n=1 p99" 7.0 s1.p99;
+  let s2 = summ [ 1.0; 2.0 ] in
+  check tf "n=2 median interpolates" 1.5 s2.median;
+  check tf "n=2 p90" 1.9 s2.p90;
+  check tf "n=2 p99" 1.99 s2.p99;
+  (* Support.Stats must agree byte-for-byte (two implementations, one
+     contract — obs cannot depend on support). *)
+  List.iter
+    (fun (p, expect) ->
+      check tf
+        (Printf.sprintf "stats p%g agrees" p)
+        expect
+        (Support.Stats.percentile p [ 1.0; 2.0 ]))
+    [ (50.0, 1.5); (90.0, 1.9); (99.0, 1.99) ]
+
 (* --- Chrome trace export ------------------------------------------ *)
 
 let test_chrome_trace_well_formed () =
@@ -241,6 +268,7 @@ let suite =
     Alcotest.test_case "trace: exception safety" `Quick test_span_closed_on_exception;
     Alcotest.test_case "metrics: counters and gauges" `Quick test_counter_accounting;
     Alcotest.test_case "metrics: histogram summary" `Quick test_histogram_summary;
+    Alcotest.test_case "metrics: small-count percentiles" `Quick test_histogram_small_counts;
     Alcotest.test_case "trace: chrome JSON well-formed" `Quick test_chrome_trace_well_formed;
     Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "pipeline: telemetry deterministic" `Quick

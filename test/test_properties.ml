@@ -242,6 +242,42 @@ let fault_tolerance_law =
       && deg1 = deg2
       && (deg1 > 0 || Support.Digesting.equal d0 d1))
 
+(* The self-observability contract (ISSUE 6): enabling span-attributed
+   host-clock/GC profiling is purely additive — the optimized image and
+   every simulated metric are byte-identical with it on or off. *)
+let selfprof_invariance_law =
+  QCheck.Test.make ~count:5
+    ~name:"self-profiling never changes digests or simulated metrics" program_arb
+    (fun input ->
+      let program = make_program input in
+      let run self_profile =
+        Support.Pool.with_pool ~jobs:1 (fun pool ->
+            let recorder = Obs.Recorder.create () in
+            if self_profile then Obs.Recorder.enable_self_profile recorder;
+            let env =
+              Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ~pool ()) ()
+            in
+            let r =
+              Propeller.Pipeline.run
+                ~config:
+                  {
+                    Propeller.Pipeline.default_config with
+                    profile_run = { Exec.Interp.default_config with requests = 10 };
+                  }
+                ~env ~program ~name:"selfprof" ()
+            in
+            ( Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary r),
+              Obs.Recorder.metrics_json recorder,
+              Obs.Flight.dump (Obs.Recorder.flight recorder) ))
+      in
+      let d_off, m_off, f_off = run false in
+      let d_on, m_on, f_on = run true in
+      (* The profiled run really profiled something; it still changed
+         no simulated output, including the flight dump text. *)
+      Support.Digesting.equal d_off d_on
+      && String.equal m_off m_on
+      && String.equal f_off f_on)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest relayout_invariance_law;
@@ -251,4 +287,5 @@ let suite =
     QCheck_alcotest.to_alcotest pipeline_no_regression_law;
     QCheck_alcotest.to_alcotest jobs_invariance_law;
     QCheck_alcotest.to_alcotest fault_tolerance_law;
+    QCheck_alcotest.to_alcotest selfprof_invariance_law;
   ]
