@@ -17,8 +17,13 @@
    itself runs on this machine: warm relinks/sec, simulated
    requests/sec, allocation per relink. Wall-clock, so NOT byte-stable;
    relinks_per_sec and requests_per_sec are judged by Compare with a
-   10x-widened tolerance (ROADMAP item 4's raw-speed trajectory). *)
-let schema_version = 5
+   10x-widened tolerance (ROADMAP item 4's raw-speed trajectory).
+   v6: per-benchmark "fleet" object — a quiesced continuous-profiling
+   loop over a small simulated fleet: per-cycle cycles-per-request
+   trajectory, canary verdicts, and how many relinks the loop needs to
+   converge. Simulated clocks only, so fully deterministic.
+   Informational only: Compare's judged allowlist ignores it. *)
+let schema_version = 6
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -222,6 +227,55 @@ let selfspeed_json (spec : Progen.Spec.t) =
           ("interp_wall_s", Obs.Json.Float interp_s);
         ])
 
+(* The fleet drill: the continuous profile -> relink -> canary loop on
+   a small quiesced fleet (steady traffic, dense sampling, single-round
+   window) so the fixed point is reachable within the drill. Fixed
+   per-machine request count, independent of --json-requests, so the
+   trajectory is comparable across bench files. *)
+let fleet_json (spec : Progen.Spec.t) =
+  let program = Progen.Generate.program spec in
+  let config =
+    {
+      Fleet.Rollout.default_config with
+      machines = 4;
+      cycles = 3;
+      canary = 1;
+      requests = 60;
+      jitter_pct = 0.0;
+      window = 1;
+      lbr = { Fleet.Rollout.default_config.lbr with Perfmon.Lbr.period = 1 };
+    }
+  in
+  let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) () in
+  let r = Fleet.Rollout.run ~config ~ctx ~program ~name:spec.name () in
+  let cycle_json (c : Fleet.Rollout.cycle_report) =
+    Obs.Json.Obj
+      [
+        ("cycle", Obs.Json.Int c.cycle);
+        ("verdict", Obs.Json.String (Fleet.Rollout.verdict_to_string c.verdict));
+        ("cycles_per_request", Obs.Json.Float c.cycles_per_request);
+        ("fall_through_rate", Obs.Json.Float c.fall_through_rate);
+        ("mispredict_rate", Obs.Json.Float c.mispredict_rate);
+        ("requests", Obs.Json.Int c.requests);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("machines", Obs.Json.Int config.machines);
+      ("cycles", Obs.Json.Int config.cycles);
+      ("requests_per_machine", Obs.Json.Int config.requests);
+      ("trajectory", Obs.Json.List (List.map cycle_json r.reports));
+      ("promotions", Obs.Json.Int r.promotions);
+      ("rollbacks", Obs.Json.Int r.rollbacks);
+      ("converged", Obs.Json.Bool r.converged);
+      ( "converged_after_relinks",
+        match r.converged_after_relinks with
+        | Some n -> Obs.Json.Int n
+        | None -> Obs.Json.Null );
+      ("final_generation", Obs.Json.Int r.final_generation);
+      ("final_digest", Obs.Json.String r.final_digest);
+    ]
+
 let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
   let wb = Workbench.get spec in
   let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
@@ -262,6 +316,7 @@ let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
             [ ("base", counters_json base); ("propeller", counters_json prop) ] );
         ("resilience", resilience_json spec);
         ("selfspeed", selfspeed_json spec);
+        ("fleet", fleet_json spec);
       ]
       @
       match parallel_json spec ~jobs_sweep with

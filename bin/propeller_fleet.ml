@@ -1,0 +1,171 @@
+(* propeller_fleet: the continuous profiling loop over a simulated
+   machine fleet (paper §2, Fig 1).
+
+   Run N machines for K optimization cycles and print the fleet health
+   report:
+     dune exec bin/propeller_fleet.exe -- run --machines 4 --cycles 3 --seed 7
+
+   Everything runs on simulated clocks: the same flags produce
+   byte-identical reports and --json-out files at any --jobs width. *)
+
+open Cmdliner
+
+let log2i v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let run_fleet benchmark requests machines cycles canary fleet_requests jitter lbr_period
+    window decay threshold sabotage_cycle json json_out jobs seed faults trace metrics_out
+    self_profile self_profile_out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
+  let recorder = ctx.Support.Ctx.recorder in
+  Cli_common.with_flight_guard recorder @@ fun () ->
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  let config =
+    {
+      Fleet.Rollout.default_config with
+      machines;
+      cycles;
+      canary;
+      requests = (match fleet_requests with Some r -> r | None -> spec.Progen.Spec.requests);
+      jitter_pct = jitter;
+      lbr = { Fleet.Rollout.default_config.lbr with Perfmon.Lbr.period = lbr_period };
+      seed = Option.value seed ~default:Fleet.Rollout.default_config.seed;
+      window;
+      decay;
+      threshold_pct = threshold;
+      sabotage_cycle;
+      core =
+        {
+          Uarch.Core.default_config with
+          hugepages = spec.hugepages;
+          page_scale_bits = log2i spec.scale;
+        };
+    }
+  in
+  if not json then
+    Printf.printf "fleet loop on %s: %d machines, %d cycles...\n%!" spec.name machines cycles;
+  let program = Progen.Generate.program spec in
+  let result = Fleet.Rollout.run ~config ~ctx ~program ~name:spec.name () in
+  (* A rollback is a caught degradation: surface the flight recorder's
+     verdict trail the same way fault drills do. *)
+  if result.Fleet.Rollout.rollbacks > 0 && not json then begin
+    prerr_endline "rollback occurred; flight recorder dump follows:";
+    prerr_string (Obs.Recorder.flight_dump recorder)
+  end;
+  let rendered_json = Obs.Json.to_string (Fleet.Rollout.to_json result) ^ "\n" in
+  (match Obs.Json.parse rendered_json with
+  | Ok _ -> ()
+  | Error e ->
+    Printf.eprintf "fleet report: INVALID JSON: %s\n" e;
+    exit 1);
+  if json then print_string rendered_json
+  else print_string (Fleet.Rollout.report result);
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    Cli_common.write_file file rendered_json;
+    if not json then Printf.printf "fleet report: %s (valid JSON)\n" file);
+  Cli_common.export_recorder recorder ~trace ~metrics_out;
+  Cli_common.export_self_profile recorder ~self_profile ~self_profile_out
+
+let machines_term =
+  Arg.(value & opt int 4 & info [ "machines" ] ~docv:"N" ~doc:"Fleet size (at least 2).")
+
+let cycles_term =
+  Arg.(value & opt int 3 & info [ "cycles" ] ~docv:"K" ~doc:"Optimization cycles to run.")
+
+let canary_term =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "canary" ] ~docv:"N"
+        ~doc:"Canary slice size for candidate pushes (clamped to machines - 1).")
+
+let fleet_requests_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fleet-requests" ] ~docv:"R"
+        ~doc:
+          "Mean requests per machine per serve round (default: the benchmark's request \
+           count). Per-round traffic jitters deterministically around this mean.")
+
+let jitter_term =
+  Arg.(
+    value
+    & opt float 0.2
+    & info [ "jitter" ] ~docv:"F"
+        ~doc:"Traffic spread around the per-round request mean, as a fraction in [0,1].")
+
+let lbr_period_term =
+  Arg.(
+    value
+    & opt int 13
+    & info [ "lbr-period" ] ~docv:"N"
+        ~doc:
+          "Taken branches between LBR samples on the fleet tier. Production fleets sample \
+           sparsely per machine and recover density by merging shards; the simulated fleet \
+           defaults denser so per-round profiles are stable.")
+
+let window_term =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "window" ] ~docv:"ROUNDS" ~doc:"Profile aggregation window, in serve rounds.")
+
+let decay_term =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "decay" ] ~docv:"F" ~doc:"Per-round decay of older profile shards, in [0,1].")
+
+let threshold_term =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "threshold" ] ~docv:"PCT" ~doc:"Canary-vs-control regression threshold.")
+
+let sabotage_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sabotage-cycle" ] ~docv:"C"
+        ~doc:
+          "Deploy a deliberately pathological candidate at cycle $(docv) — the \
+           stale-profile drill; the canary judge must catch it and roll back.")
+
+let json_term =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the fleet report as JSON instead of text.")
+
+let json_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write the JSON fleet report to $(docv).")
+
+let run_term =
+  Term.(
+    const run_fleet $ Cli_common.benchmark_term $ Cli_common.requests_term $ machines_term
+    $ cycles_term $ canary_term $ fleet_requests_term $ jitter_term $ lbr_period_term
+    $ window_term $ decay_term
+    $ threshold_term $ sabotage_term $ json_term $ json_out_term $ Cli_common.jobs_term
+    $ Cli_common.seed_term $ Cli_common.faults_term $ Cli_common.trace_term
+    $ Cli_common.metrics_out_term $ Cli_common.self_profile_term
+    $ Cli_common.self_profile_out_term)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the continuous profile/relink/canary loop on a simulated fleet and report \
+          its health.")
+    run_term
+
+let cmd =
+  Cmd.group ~default:run_term
+    (Cmd.info "propeller_fleet"
+       ~doc:"Fleet-wide continuous profiling: sharded aggregation, canary-judged relinks")
+    [ run_cmd ]
+
+let () = exit (Cmd.eval cmd)

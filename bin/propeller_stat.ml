@@ -108,7 +108,13 @@ let run_diff baseline_file current_file threshold quiet =
     Printf.eprintf "diff error: %s\n" e;
     exit 2
   | Ok outcome ->
-    if not quiet then print_string (Diagnostics.Compare.render outcome);
+    if not quiet then begin
+      (* Verdict lines are the machine-parseable product and stay on
+         stdout; NOTE/informational lines (schema skew, gained metrics)
+         go to stderr so piped stdout parses line by line. *)
+      print_string (Diagnostics.Compare.render_verdicts outcome);
+      prerr_string (Diagnostics.Compare.render_notes outcome)
+    end;
     let regs = Diagnostics.Compare.regressions outcome in
     if Diagnostics.Compare.ok outcome then
       Printf.printf "OK: %d judged metrics within %.1f%% of baseline\n"

@@ -17,8 +17,10 @@ type outcome = { verdicts : verdict list; missing : string list; notes : string 
 (* Wall-clock judged metrics (the selfspeed group) carry a widened
    tolerance: machine noise moves them tens of percent run to run, so
    only order-of-magnitude collapses should gate. *)
+let rule ?(scale = 1.0) suffix direction = { suffix; direction; tolerance_scale = scale }
+
 let judged =
-  let r ?(scale = 1.0) suffix direction = { suffix; direction; tolerance_scale = scale } in
+  let r = rule in
   [
     r "speedup_pct.propeller" Higher;
     r "speedup_pct.bolt" Higher;
@@ -31,6 +33,17 @@ let judged =
     r "layout_quality.blocks_missing" Lower;
     r ~scale:10.0 "selfspeed.relinks_per_sec" Higher;
     r ~scale:10.0 "selfspeed.requests_per_sec" Higher;
+  ]
+
+(* The canary judgment allowlist: the per-machine time-series a fleet
+   rollout compares between the canary slice and the control slice.
+   All three are simulated (no wall-clock noise), so they judge at the
+   caller's raw threshold. *)
+let fleet_rules =
+  [
+    rule "fleet.cycles_per_request" Lower;
+    rule "fleet.fall_through_rate" Higher;
+    rule "fleet.mispredict_rate" Lower;
   ]
 
 (* Flatten numeric leaves to dotted paths. List elements keyed by their
@@ -63,14 +76,14 @@ let suffix_matches key rule =
   && String.sub key (lk - ls) ls = rule.suffix
   && (lk = ls || key.[lk - ls - 1] = '.')
 
-let judge key = List.find_opt (suffix_matches key) judged
+let judge rules key = List.find_opt (suffix_matches key) rules
 
 let schema_version json =
   match Obs.Json.member "schema_version" json with
   | Some (Obs.Json.Int v) -> Ok v
   | _ -> Error "missing or non-integer schema_version"
 
-let compare ?(threshold_pct = 5.0) ~baseline ~current () =
+let compare ?(threshold_pct = 5.0) ?(rules = judged) ~baseline ~current () =
   match (baseline, current) with
   | Obs.Json.Obj _, Obs.Json.Obj _ -> (
     match (schema_version baseline, schema_version current) with
@@ -100,7 +113,7 @@ let compare ?(threshold_pct = 5.0) ~baseline ~current () =
       let verdicts = ref [] and missing = ref [] in
       List.iter
         (fun key ->
-          match judge key with
+          match judge rules key with
           | None -> ()
           | Some rule -> (
             let base = Hashtbl.find fb key in
@@ -130,7 +143,7 @@ let compare ?(threshold_pct = 5.0) ~baseline ~current () =
       let gained =
         Hashtbl.fold
           (fun k v acc ->
-            if judge k <> None && not (Hashtbl.mem fb k) then (k, v) :: acc else acc)
+            if judge rules k <> None && not (Hashtbl.mem fb k) then (k, v) :: acc else acc)
           fc []
         |> List.sort Stdlib.compare
       in
@@ -147,7 +160,7 @@ let regressions o = List.filter (fun v -> v.regressed) o.verdicts
 
 let ok o = regressions o = [] && o.missing = []
 
-let render o =
+let render_verdicts o =
   let buf = Buffer.create 512 in
   List.iter
     (fun v ->
@@ -161,7 +174,11 @@ let render o =
   List.iter
     (fun k -> Buffer.add_string buf (Printf.sprintf "MISSING   %s (present in baseline)\n" k))
     o.missing;
-  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "NOTE      %s\n" n)) o.notes;
-  (if o.verdicts = [] && o.missing = [] && o.notes = [] then
+  (if o.verdicts = [] && o.missing = [] then
      Buffer.add_string buf "no judged metrics found in baseline\n");
   Buffer.contents buf
+
+let render_notes o =
+  String.concat "" (List.map (fun n -> Printf.sprintf "NOTE      %s\n" n) o.notes)
+
+let render o = render_verdicts o ^ render_notes o

@@ -48,13 +48,21 @@ type outcome = {
 (** The allowlist of judged metrics. *)
 val judged : rule list
 
-(** [compare ?threshold_pct ~baseline ~current] diffs two parsed bench
-    JSON trees. Errors on non-object input or when the baseline's
-    schema_version is *newer* than the current file's; an older
-    baseline degrades gracefully (see [notes]). [threshold_pct]
-    defaults to 5.0. *)
+(** The canary-judgment allowlist of a fleet rollout: per-machine
+    time-series aggregates ([fleet.cycles_per_request],
+    [fleet.fall_through_rate], [fleet.mispredict_rate]) compared
+    between a canary slice and its control slice. *)
+val fleet_rules : rule list
+
+(** [compare ?threshold_pct ?rules ~baseline ~current] diffs two parsed
+    bench JSON trees under the [rules] allowlist (default {!judged};
+    fleet rollouts pass {!fleet_rules}). Errors on non-object input or
+    when the baseline's schema_version is *newer* than the current
+    file's; an older baseline degrades gracefully (see [notes]).
+    [threshold_pct] defaults to 5.0. *)
 val compare :
   ?threshold_pct:float ->
+  ?rules:rule list ->
   baseline:Obs.Json.t ->
   current:Obs.Json.t ->
   unit ->
@@ -69,5 +77,17 @@ val regressions : outcome -> verdict list
 val ok : outcome -> bool
 
 (** [render o] is a plain-text report (one line per judged metric,
-    regressions marked, NOTE lines last). *)
+    regressions marked, NOTE lines last). CLI consumers should prefer
+    the split pair below so informational notes never pollute a piped
+    stdout. *)
 val render : outcome -> string
+
+(** [render_verdicts o] is the machine-parseable half of {!render}:
+    verdict and MISSING lines only — every line starts with a fixed
+    mark ([ok]/[improved]/[REGRESSED]/[MISSING]), so piped consumers
+    can split on whitespace. *)
+val render_verdicts : outcome -> string
+
+(** [render_notes o] is the informational half: the NOTE lines
+    ([propeller_stat diff] routes these to stderr). *)
+val render_notes : outcome -> string

@@ -1,0 +1,285 @@
+type batch = { round : int; shards : Machine.shard list }
+
+type stats = {
+  shards_merged : int;
+  stale_shards : int;
+  dropped_shards : int;
+  translated_pairs : int;
+  dropped_pairs : int;
+  batches : int;
+}
+
+(* One registered image: its placed blocks in final address order (the
+   range-walk index, mirroring how the WPA's DCFG walks sequential
+   ranges). *)
+type index = { locs : Inspect.Resolve.location array }
+
+type t = {
+  window : int;
+  decay : float;
+  branch_weight : float;
+  mutable batches : batch list;  (* newest first *)
+  resolvers : (string, index) Hashtbl.t;  (* hex digest -> index *)
+}
+
+let create ?(window = 4) ?(decay = 0.5) ?(lbr_depth = 32) () =
+  if window < 1 then invalid_arg "Aggregate.create: window must be positive";
+  if decay < 0.0 || decay > 1.0 then invalid_arg "Aggregate.create: decay must be in [0, 1]";
+  (* Count inference, as the paper's profile conversion does: a ring of
+     depth D replays a taken-branch record in ~D consecutive samples
+     but a fall-through range pair (two adjacent slots) in only ~D-1,
+     so branch-derived counts are deflated by (D-1)/D to put both
+     encodings of the same logical edge on one scale. Without this the
+     aggregate inherits a taken-vs-fall-through skew from whichever
+     layout the shard was collected on. *)
+  let branch_weight =
+    if lbr_depth >= 2 then float_of_int (lbr_depth - 1) /. float_of_int lbr_depth else 1.0
+  in
+  { window; decay; branch_weight; batches = []; resolvers = Hashtbl.create 8 }
+
+let register t binary =
+  let hex = Support.Digesting.to_hex (Linker.Binary.image_digest binary) in
+  if not (Hashtbl.mem t.resolvers hex) then begin
+    let res = Inspect.Resolve.create binary in
+    let locs =
+      List.concat_map (Inspect.Resolve.blocks_of_func res) (Inspect.Resolve.funcs res)
+      |> List.sort (fun (a : Inspect.Resolve.location) b ->
+             compare a.block_addr b.block_addr)
+      |> Array.of_list
+    in
+    Hashtbl.add t.resolvers hex { locs }
+  end
+
+let registered t digest = Hashtbl.mem t.resolvers digest
+
+let push t ~round shards =
+  let shards =
+    List.sort (fun (a : Machine.shard) b -> Stdlib.compare a.machine b.machine) shards
+  in
+  let batches = { round; shards } :: t.batches in
+  let rec cap n = function [] -> [] | _ when n = 0 -> [] | x :: rest -> x :: cap (n - 1) rest in
+  t.batches <- cap t.window batches
+
+(* The logical units an LBR profile decodes to. Addresses drop out
+   entirely — this is what makes the merged aggregate independent of
+   the layout each shard was collected on. *)
+type item =
+  | Edge of string * int * int  (** Intra-function transfer a -> b. *)
+  | Call of string * int * string  (** caller block -> callee entry. *)
+  | Landing of string * int * string * int * int
+      (** Cross-function landing mid-block (returns): source block,
+          destination (func, block, offset) — visit evidence only. *)
+
+let find_loc (locs : Inspect.Resolve.location array) addr =
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let b = locs.(mid) in
+      if addr < b.block_addr then search lo (mid - 1)
+      else if addr >= b.block_addr + b.block_size then search (mid + 1) hi
+      else Some (mid, b)
+    end
+  in
+  search 0 (Array.length locs - 1)
+
+(* Decode one profile against the layout it was collected on, exactly
+   mirroring the DCFG's reading of the record streams: a taken-branch
+   record's source block contains [src - 1]; a sequential range covers
+   the blocks below [range_hi] and yields the fall-through edges
+   between address-adjacent same-function blocks. Emitted weights are
+   floats: branch-derived evidence carries the ring-multiplicity
+   deflation so both encodings of a logical edge weigh the same. *)
+let decode t (idx : index) (p : Perfmon.Lbr.profile) emit drop =
+  Hashtbl.iter
+    (fun (src, dst) n ->
+      let w = float_of_int n *. t.branch_weight in
+      match (find_loc idx.locs (src - 1), find_loc idx.locs dst) with
+      | Some (_, sb), Some (_, db) ->
+        if String.equal sb.func db.func then emit (Edge (sb.func, sb.block, db.block)) w
+        else if db.block = 0 && db.offset = 0 then emit (Call (sb.func, sb.block, db.func)) w
+        else emit (Landing (sb.func, sb.block, db.func, db.block, db.offset)) w
+      | None, _ | _, None -> drop n)
+    p.Perfmon.Lbr.branches;
+  Hashtbl.iter
+    (fun (range_lo, range_hi) n ->
+      match find_loc idx.locs range_lo with
+      | None -> drop n
+      | Some (i0, _) ->
+        let rec walk i =
+          if i + 1 < Array.length idx.locs then begin
+            let b = idx.locs.(i) and nxt = idx.locs.(i + 1) in
+            if
+              nxt.block_addr < range_hi
+              && nxt.block_addr = b.block_addr + b.block_size
+              && String.equal nxt.func b.func
+            then begin
+              emit (Edge (b.func, b.block, nxt.block)) (float_of_int n);
+              walk (i + 1)
+            end
+            else if nxt.block_addr < range_hi then walk (i + 1)
+          end
+        in
+        walk i0)
+    p.Perfmon.Lbr.ranges
+
+(* Re-encode a logical item the way a profile collected *on the target
+   layout* would have recorded it: transfers to the address-adjacent
+   next block become fall-through range evidence (post-relaxation they
+   retire no taken branch), everything else a taken-branch record.
+   Calls always record as taken branches, landing on the callee entry. *)
+let encode tbl item n ~branches ~ranges ~translated ~dropped =
+  let tloc f b : Inspect.Resolve.location option = Hashtbl.find_opt tbl (f, b) in
+  let bump table key n =
+    Hashtbl.replace table key (n +. Option.value ~default:0.0 (Hashtbl.find_opt table key))
+  in
+  let end_addr (l : Inspect.Resolve.location) = l.block_addr + l.block_size in
+  match item with
+  | Edge (f, a, b) -> (
+    match (tloc f a, tloc f b) with
+    | Some la, Some lb when la.block_size > 0 && lb.block_size > 0 ->
+      translated := !translated + 1;
+      if lb.block_addr = end_addr la then bump ranges (la.block_addr, lb.block_addr + 1) n
+      else bump branches (end_addr la, lb.block_addr) n
+    | _ -> dropped := !dropped + 1)
+  | Call (f, a, g) -> (
+    match (tloc f a, tloc g 0) with
+    | Some la, Some lg when la.block_size > 0 ->
+      translated := !translated + 1;
+      bump branches (end_addr la, lg.block_addr) n
+    | _ -> dropped := !dropped + 1)
+  | Landing (f, a, g, b, off) -> (
+    match (tloc f a, tloc g b) with
+    | Some la, Some lb when la.block_size > 0 && lb.block_size > 0 ->
+      let off = min off (lb.block_size - 1) in
+      (* A landing at a callee entry's first byte would re-encode as a
+         call arc; nudge inside the block (or drop a 1-byte entry). *)
+      if b = 0 && off = 0 && lb.block_size < 2 then dropped := !dropped + 1
+      else begin
+        translated := !translated + 1;
+        let off = if b = 0 && off = 0 then 1 else off in
+        bump branches (end_addr la, lb.block_addr + off) n
+      end
+    | _ -> dropped := !dropped + 1)
+
+let sorted_pairs tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort Stdlib.compare
+
+(* Rebuild a hashtable by inserting pairs in sorted order: iteration
+   order becomes a pure function of contents, so downstream consumers
+   (WPA's DCFG construction) see the same profile no matter what order
+   the shards merged in. *)
+let canonical tbl =
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  List.iter (fun (k, v) -> Hashtbl.add out k v) (sorted_pairs tbl);
+  out
+
+let block_table (target : index) =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter
+    (fun (loc : Inspect.Resolve.location) -> Hashtbl.replace tbl (loc.func, loc.block) loc)
+    target.locs;
+  tbl
+
+let merged t ~target =
+  let target_idx =
+    match Hashtbl.find_opt t.resolvers target with
+    | Some r -> r
+    | None -> invalid_arg (Printf.sprintf "Aggregate.merged: unregistered target %s" target)
+  in
+  let tbl = block_table target_idx in
+  let out = Perfmon.Lbr.create_profile () in
+  let fbranches : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let franges : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let shards_merged = ref 0
+  and stale = ref 0
+  and dropped_shards = ref 0
+  and translated = ref 0
+  and dropped = ref 0 in
+  let newest = match t.batches with [] -> 0 | b :: _ -> b.round in
+  List.iter
+    (fun b ->
+      let factor = t.decay ** float_of_int (newest - b.round) in
+      let scale n = int_of_float (float_of_int n *. factor) in
+      List.iter
+        (fun (sh : Machine.shard) ->
+          match Hashtbl.find_opt t.resolvers sh.digest with
+          | None -> incr dropped_shards
+          | Some source ->
+            incr shards_merged;
+            if sh.digest <> target then incr stale;
+            let p = sh.profile in
+            (* Every shard — current generation included — goes through
+               decode/encode, so the aggregate is one canonical function
+               of (logical traffic, target layout): the fixed point the
+               relink loop converges to. Weights accumulate as floats
+               and round once at the end; decayed evidence fades to
+               zero and is dropped from the tables. *)
+            decode t source p
+              (fun item w ->
+                let w = w *. factor in
+                if w > 0.0 then
+                  encode tbl item w ~branches:fbranches ~ranges:franges ~translated
+                    ~dropped)
+              (fun n -> if scale n > 0 then dropped := !dropped + 1);
+            Hashtbl.iter
+              (fun (src, dst) n ->
+                let n = scale n in
+                if n > 0 then
+                  match (find_loc source.locs (src - 1), find_loc source.locs dst) with
+                  | Some (_, sb), Some (_, db) -> (
+                    match (Hashtbl.find_opt tbl (sb.func, sb.block),
+                           Hashtbl.find_opt tbl (db.func, db.block))
+                    with
+                    | Some la, Some lb when la.block_size > 0 ->
+                      let key = (la.block_addr + la.block_size, lb.block_addr) in
+                      Hashtbl.replace out.Perfmon.Lbr.mispredicts key
+                        (n
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt out.Perfmon.Lbr.mispredicts key))
+                    | _ -> ())
+                  | _ -> ())
+              p.Perfmon.Lbr.mispredicts;
+            out.num_samples <- out.num_samples + scale p.num_samples;
+            out.num_records <- out.num_records + scale p.num_records)
+        b.shards)
+    t.batches;
+  let rounded ftbl =
+    let itbl = Hashtbl.create (max 16 (Hashtbl.length ftbl)) in
+    Hashtbl.iter
+      (fun k w ->
+        let n = int_of_float (Float.round w) in
+        if n > 0 then Hashtbl.replace itbl k n)
+      ftbl;
+    itbl
+  in
+  let out =
+    {
+      out with
+      Perfmon.Lbr.branches = canonical (rounded fbranches);
+      ranges = canonical (rounded franges);
+      mispredicts = canonical out.mispredicts;
+    }
+  in
+  ( out,
+    {
+      shards_merged = !shards_merged;
+      stale_shards = !stale;
+      dropped_shards = !dropped_shards;
+      translated_pairs = !translated;
+      dropped_pairs = !dropped;
+      batches = List.length t.batches;
+    } )
+
+let signature (p : Perfmon.Lbr.profile) =
+  let buf = Buffer.create 4096 in
+  let dump tag tbl =
+    List.iter
+      (fun ((a, b), c) -> Printf.bprintf buf "%s %d %d %d\n" tag a b c)
+      (sorted_pairs tbl)
+  in
+  dump "b" p.branches;
+  dump "r" p.ranges;
+  dump "m" p.mispredicts;
+  Printf.bprintf buf "t %d %d\n" p.num_samples p.num_records;
+  Support.Digesting.to_hex (Support.Digesting.of_string (Buffer.contents buf))

@@ -1,0 +1,501 @@
+type config = {
+  machines : int;
+  cycles : int;
+  canary : int;
+  requests : int;
+  jitter_pct : float;
+  seed : int;
+  window : int;
+  decay : float;
+  serve_window_s : float;
+  threshold_pct : float;
+  sabotage_cycle : int option;
+  lbr : Perfmon.Lbr.config;
+  wpa : Propeller.Wpa.config;
+  core : Uarch.Core.config;
+}
+
+let default_config =
+  {
+    machines = 4;
+    cycles = 3;
+    canary = 1;
+    requests = 60;
+    jitter_pct = 0.2;
+    seed = 1;
+    window = 4;
+    decay = 0.5;
+    serve_window_s = 60.0;
+    threshold_pct = 5.0;
+    sabotage_cycle = None;
+    lbr = Perfmon.Lbr.default_config;
+    wpa = Propeller.Wpa.default_config;
+    core = Uarch.Core.default_config;
+  }
+
+type verdict = Promoted | Rolled_back | Converged
+
+let verdict_to_string = function
+  | Promoted -> "promoted"
+  | Rolled_back -> "rolled_back"
+  | Converged -> "converged"
+
+type cycle_report = {
+  cycle : int;
+  generation : int;
+  candidate_digest : string;
+  verdict : verdict;
+  judged : Diagnostics.Compare.outcome option;
+  aggregate : Aggregate.stats;
+  aggregate_signature : string;
+  aggregate_edges : int;
+  cycles_per_request : float;
+  fall_through_rate : float;
+  mispredict_rate : float;
+  requests : int;
+}
+
+type result = {
+  name : string;
+  config : config;
+  machines : Machine.t list;
+  fleet_series : Obs.Timeseries.t;
+  reports : cycle_report list;
+  promotions : int;
+  rollbacks : int;
+  converged : bool;
+  converged_after_relinks : int option;
+  final_generation : int;
+  final_digest : string;
+}
+
+(* Deterministic per-(seed, machine, round) traffic jitter: an FNV-1a
+   fold, no global RNG state, so fleets replay byte-identically. *)
+let hash3 a b c =
+  let h = ref 0x2545f4914f6cdd1d in
+  let step v =
+    h := !h lxor v;
+    h := !h * 0x100000001b3 land max_int
+  in
+  step a;
+  step b;
+  step c;
+  !h
+
+let jittered (config : config) ~machine ~round =
+  let span = int_of_float (float_of_int config.requests *. config.jitter_pct) in
+  if span <= 0 then config.requests
+  else config.requests - span + (hash3 config.seed machine round mod ((2 * span) + 1))
+
+let machine_pid id = 100 + id
+
+let hex binary = Support.Digesting.to_hex (Linker.Binary.image_digest binary)
+
+(* The generation-N build: a metadata build (bb_addr_map kept, so WPA
+   can consume profiles collected on it directly) with generation N-1's
+   layout applied — exactly the paper's continuous deployment shape,
+   where samples always come from already-optimized binaries. *)
+let build_generation env ~name ~program layout =
+  let cg_meta, ld_meta = Propeller.Pipeline.metadata_options in
+  let cg, ld =
+    match layout with
+    | None -> (cg_meta, ld_meta)
+    | Some (plans, ordering) ->
+      ( { cg_meta with Codegen.plans },
+        { ld_meta with Linker.Link.ordering = Some ordering } )
+  in
+  (* One fixed artifact name for every generation: the binary's name
+     participates in the image digest, and convergence is digest
+     equality — the generation is rollout state, not image content. *)
+  Buildsys.Driver.build env ~name:(name ^ ".fleet") ~program ~codegen_options:cg
+    ~link_options:ld
+
+(* The stale-profile drill: a syntactically valid but pathological
+   candidate — every block its own cluster, global ordering reversed —
+   so physical fall-through collapses and the canary judge must catch
+   it. Derived from the deployed layout's own block inventory. *)
+let sabotage_layout resolver =
+  let plans =
+    List.filter_map
+      (fun func ->
+        let ids =
+          Inspect.Resolve.blocks_of_func resolver func
+          |> List.map (fun (l : Inspect.Resolve.location) -> l.block)
+          |> List.sort_uniq Stdlib.compare
+        in
+        if not (List.mem 0 ids) then None
+        else
+          let rest = List.filter (fun b -> b <> 0) ids |> List.rev in
+          let clusters =
+            { Codegen.Directive.kind = Codegen.Directive.Primary; blocks = [ 0 ] }
+            :: List.mapi
+                 (fun i b ->
+                   { Codegen.Directive.kind = Codegen.Directive.Extra (i + 1); blocks = [ b ] })
+                 rest
+          in
+          Some { Codegen.Directive.func; clusters })
+      (Inspect.Resolve.funcs resolver)
+  in
+  let ordering =
+    List.concat_map
+      (fun (p : Codegen.Directive.func_plan) ->
+        List.map (Codegen.Directive.symbol p.func) p.clusters)
+      plans
+    |> List.rev
+  in
+  (plans, ordering)
+
+(* Requests-weighted slice aggregates wrapped as a minimal bench-shaped
+   JSON object, so Diagnostics.Compare judges canary vs control with
+   the same machinery that gates bench trajectories. *)
+let slice_json shards =
+  let reqs = List.fold_left (fun a (s : Machine.shard) -> a + s.requests) 0 shards in
+  let fr = float_of_int (max 1 reqs) in
+  let cycles = List.fold_left (fun a (s : Machine.shard) -> a +. s.cycles) 0.0 shards in
+  let wmean f =
+    List.fold_left (fun a (s : Machine.shard) -> a +. (f s *. float_of_int s.requests)) 0.0 shards
+    /. fr
+  in
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ( "fleet",
+        Obs.Json.Obj
+          [
+            ("cycles_per_request", Obs.Json.Float (cycles /. fr));
+            ("fall_through_rate", Obs.Json.Float (wmean (fun s -> s.fall_through_rate)));
+            ("mispredict_rate", Obs.Json.Float (wmean (fun s -> s.mispredict_rate)));
+          ] );
+    ]
+
+let run ?(config = default_config) ~ctx ~program ~name () =
+  if config.machines < 2 then invalid_arg "Rollout.run: need at least 2 machines";
+  if config.cycles < 1 then invalid_arg "Rollout.run: need at least 1 cycle";
+  let canary_n = max 1 (min config.canary (config.machines - 1)) in
+  let rec_ = ctx.Support.Ctx.recorder in
+  let env = Buildsys.Driver.make_env ~ctx () in
+  let fleet_clock = Obs.Clock.create () in
+  let fleet_series =
+    Obs.Timeseries.create ~window_s:1.0 ~capacity:256 ~decay:config.decay fleet_clock
+  in
+  let agg =
+    Aggregate.create ~window:config.window ~decay:config.decay
+      ~lbr_depth:config.lbr.Perfmon.Lbr.buffer_depth ()
+  in
+  Obs.Recorder.with_span rec_ "fleet:run" @@ fun () ->
+  let gen0 = build_generation env ~name ~program None in
+  Aggregate.register agg gen0.Buildsys.Driver.binary;
+  let machines =
+    List.init config.machines (fun id ->
+        Machine.create ~id ~program ~core_config:config.core ~clock:fleet_clock ~window_s:1.0
+          ~capacity:256 ~decay:config.decay ~generation:0 gen0.Buildsys.Driver.binary)
+  in
+  let trace = Obs.Recorder.trace rec_ in
+  Obs.Trace.set_process_name trace ~pid:1 "fleet-coordinator";
+  List.iter
+    (fun m ->
+      let pid = machine_pid (Machine.id m) in
+      Obs.Trace.set_process_name trace ~pid (Printf.sprintf "machine-%02d" (Machine.id m));
+      Obs.Trace.set_thread_name trace ~pid ~tid:1 "serve")
+    machines;
+  let round = ref 0 in
+  (* One fleet-wide serve round: every machine serves its jittered
+     traffic, gets a span on its own trace lane, and the round lands in
+     its own time-series window (the fleet clock ticks once a round). *)
+  let serve_round label =
+    incr round;
+    let start = Obs.Recorder.now rec_ in
+    let shards =
+      List.map
+        (fun m ->
+          let id = Machine.id m in
+          let requests = jittered config ~machine:id ~round:!round in
+          let sh = Machine.serve ~ctx m ~lbr:config.lbr ~requests in
+          Obs.Recorder.emit_span ~pid:(machine_pid id)
+            ~args:
+              [
+                ("requests", Obs.Trace.Int sh.Machine.requests);
+                ("generation", Obs.Trace.Int sh.Machine.generation);
+              ]
+            rec_ label ~start ~duration:config.serve_window_s;
+          sh)
+        machines
+    in
+    Obs.Recorder.advance rec_ config.serve_window_s;
+    let reqs = List.fold_left (fun a (s : Machine.shard) -> a + s.requests) 0 shards in
+    let cycles = List.fold_left (fun a (s : Machine.shard) -> a +. s.cycles) 0.0 shards in
+    let wmean f =
+      List.fold_left
+        (fun a (s : Machine.shard) -> a +. (f s *. float_of_int s.requests))
+        0.0 shards
+      /. float_of_int (max 1 reqs)
+    in
+    Obs.Timeseries.add fleet_series "fleet.requests" (float_of_int reqs);
+    Obs.Timeseries.add fleet_series "fleet.shards" (float_of_int (List.length shards));
+    Obs.Timeseries.set fleet_series "fleet.cycles_per_request"
+      (cycles /. float_of_int (max 1 reqs));
+    Obs.Timeseries.set fleet_series "fleet.fall_through_rate"
+      (wmean (fun s -> s.Machine.fall_through_rate));
+    Obs.Timeseries.set fleet_series "fleet.mispredict_rate"
+      (wmean (fun s -> s.Machine.mispredict_rate));
+    Obs.Clock.advance fleet_clock 1.0;
+    Aggregate.push agg ~round:!round shards;
+    shards
+  in
+  let deployed = ref gen0.Buildsys.Driver.binary in
+  let generation = ref 0 in
+  let promotions = ref 0 in
+  let rollbacks = ref 0 in
+  let converged_after = ref None in
+  let reports = ref [] in
+  for cycle = 1 to config.cycles do
+    Obs.Recorder.with_span rec_ (Printf.sprintf "fleet:cycle:%d" cycle) @@ fun () ->
+    let shards = serve_round "serve" in
+    let reqs_serve = List.fold_left (fun a (s : Machine.shard) -> a + s.requests) 0 shards in
+    let deployed_hex = hex !deployed in
+    let profile, astats = Aggregate.merged agg ~target:deployed_hex in
+    let signature = Aggregate.signature profile in
+    let sabotaged = config.sabotage_cycle = Some cycle in
+    let layout =
+      if sabotaged then sabotage_layout (Inspect.Resolve.create !deployed)
+      else begin
+        let wpa =
+          Propeller.Wpa.analyze ~config:config.wpa ~ctx
+            ~layout_cache:env.Buildsys.Driver.layout_cache ~profile ~binary:!deployed ()
+        in
+        (wpa.Propeller.Wpa.plans, wpa.Propeller.Wpa.ordering)
+      end
+    in
+    let candidate = build_generation env ~name ~program (Some layout) in
+    let cand_digest = hex candidate.Buildsys.Driver.binary in
+    let serve_metric f =
+      List.fold_left (fun a (s : Machine.shard) -> a +. (f s *. float_of_int s.requests)) 0.0 shards
+      /. float_of_int (max 1 reqs_serve)
+    in
+    let finish verdict judged total_requests =
+      reports :=
+        {
+          cycle;
+          generation = !generation;
+          candidate_digest = cand_digest;
+          verdict;
+          judged;
+          aggregate = astats;
+          aggregate_signature = signature;
+          aggregate_edges = Perfmon.Lbr.distinct_edges profile;
+          cycles_per_request =
+            List.fold_left (fun a (s : Machine.shard) -> a +. s.cycles) 0.0 shards
+            /. float_of_int (max 1 reqs_serve);
+          fall_through_rate = serve_metric (fun s -> s.Machine.fall_through_rate);
+          mispredict_rate = serve_metric (fun s -> s.Machine.mispredict_rate);
+          requests = total_requests;
+        }
+        :: !reports
+    in
+    if cand_digest = deployed_hex then begin
+      if !converged_after = None then converged_after := Some !promotions;
+      Obs.Recorder.flight_note rec_ "fleet.converged"
+        (Printf.sprintf "cycle %d gen %d digest %s" cycle !generation cand_digest);
+      finish Converged None reqs_serve
+    end
+    else begin
+      Aggregate.register agg candidate.Buildsys.Driver.binary;
+      let is_canary m = Machine.id m < canary_n in
+      List.iter
+        (fun m ->
+          if is_canary m then
+            Machine.deploy m ~generation:(!generation + 1) candidate.Buildsys.Driver.binary)
+        machines;
+      Obs.Recorder.flight_note rec_ "fleet.canary"
+        (Printf.sprintf "cycle %d candidate %s to %d/%d machines%s" cycle cand_digest canary_n
+           config.machines
+           (if sabotaged then " (sabotaged)" else ""));
+      let canary_shards = serve_round "canary" in
+      let reqs_canary =
+        List.fold_left (fun a (s : Machine.shard) -> a + s.requests) 0 canary_shards
+      in
+      let slice p = List.filter (fun (s : Machine.shard) -> p s.Machine.machine) canary_shards in
+      let canary = slice (fun id -> id < canary_n) in
+      let control = slice (fun id -> id >= canary_n) in
+      let outcome =
+        match
+          Diagnostics.Compare.compare ~threshold_pct:config.threshold_pct
+            ~rules:Diagnostics.Compare.fleet_rules ~baseline:(slice_json control)
+            ~current:(slice_json canary) ()
+        with
+        | Ok o -> o
+        | Error e -> failwith ("fleet canary judgment: " ^ e)
+      in
+      if Diagnostics.Compare.ok outcome then begin
+        incr promotions;
+        incr generation;
+        deployed := candidate.Buildsys.Driver.binary;
+        List.iter
+          (fun m -> Machine.deploy m ~generation:!generation candidate.Buildsys.Driver.binary)
+          machines;
+        Obs.Recorder.flight_note rec_ "fleet.promote"
+          (Printf.sprintf "cycle %d gen %d digest %s" cycle !generation cand_digest);
+        finish Promoted (Some outcome) (reqs_serve + reqs_canary)
+      end
+      else begin
+        incr rollbacks;
+        List.iter
+          (fun m -> if is_canary m then Machine.deploy m ~generation:!generation !deployed)
+          machines;
+        let regressed =
+          Diagnostics.Compare.regressions outcome
+          |> List.map (fun (v : Diagnostics.Compare.verdict) ->
+                 Printf.sprintf "%s %+.2f%%" v.metric v.delta_pct)
+          |> String.concat ", "
+        in
+        Obs.Recorder.flight_note rec_ "fleet.rollback"
+          (Printf.sprintf "cycle %d candidate %s regressed: %s" cycle cand_digest regressed);
+        finish Rolled_back (Some outcome) (reqs_serve + reqs_canary)
+      end
+    end
+  done;
+  {
+    name;
+    config;
+    machines;
+    fleet_series;
+    reports = List.rev !reports;
+    promotions = !promotions;
+    rollbacks = !rollbacks;
+    converged = !converged_after <> None;
+    converged_after_relinks = !converged_after;
+    final_generation = !generation;
+    final_digest = hex !deployed;
+  }
+
+let report r =
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf "fleet %s: %d machines, %d cycles, canary %d, seed %d\n" r.name
+    r.config.machines r.config.cycles
+    (max 1 (min r.config.canary (r.config.machines - 1)))
+    r.config.seed;
+  List.iter
+    (fun c ->
+      Printf.bprintf buf
+        "cycle %d: gen %d  cand %s  %-11s shards %d (stale %d, dropped pairs %d)  cpr %.1f  \
+         ftr %.4f  mr %.4f\n"
+        c.cycle c.generation
+        (String.sub c.candidate_digest 0 12)
+        (verdict_to_string c.verdict) c.aggregate.Aggregate.shards_merged
+        c.aggregate.Aggregate.stale_shards c.aggregate.Aggregate.dropped_pairs
+        c.cycles_per_request c.fall_through_rate c.mispredict_rate)
+    r.reports;
+  Printf.bprintf buf
+    "promotions %d, rollbacks %d%s; final gen %d (digest %s)\n" r.promotions r.rollbacks
+    (match r.converged_after_relinks with
+    | Some n -> Printf.sprintf ", converged after %d relink(s)" n
+    | None -> "")
+    r.final_generation r.final_digest;
+  Buffer.add_string buf "\nfleet series:\n";
+  Buffer.add_string buf (Obs.Timeseries.render r.fleet_series);
+  Buffer.add_string buf "\nper-machine cycles/request:\n";
+  List.iter
+    (fun m ->
+      Printf.bprintf buf "machine-%02d gen %d  %s\n" (Machine.id m) (Machine.generation m)
+        (Obs.Timeseries.sparkline (Machine.series m) "machine.cycles_per_request"))
+    r.machines;
+  Buffer.contents buf
+
+let aggregate_json (a : Aggregate.stats) =
+  Obs.Json.Obj
+    [
+      ("shards_merged", Obs.Json.Int a.shards_merged);
+      ("stale_shards", Obs.Json.Int a.stale_shards);
+      ("dropped_shards", Obs.Json.Int a.dropped_shards);
+      ("translated_pairs", Obs.Json.Int a.translated_pairs);
+      ("dropped_pairs", Obs.Json.Int a.dropped_pairs);
+      ("batches", Obs.Json.Int a.batches);
+    ]
+
+let judged_json = function
+  | None -> Obs.Json.Null
+  | Some (o : Diagnostics.Compare.outcome) ->
+    Obs.Json.Obj
+      [
+        ("ok", Obs.Json.Bool (Diagnostics.Compare.ok o));
+        ( "verdicts",
+          Obs.Json.List
+            (List.map
+               (fun (v : Diagnostics.Compare.verdict) ->
+                 Obs.Json.Obj
+                   [
+                     ("metric", Obs.Json.String v.metric);
+                     ("baseline", Obs.Json.Float v.baseline);
+                     ("current", Obs.Json.Float v.current);
+                     ("delta_pct", Obs.Json.Float v.delta_pct);
+                     ("regressed", Obs.Json.Bool v.regressed);
+                   ])
+               o.verdicts) );
+      ]
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("tool", Obs.Json.String "propeller-fleet");
+      ("name", Obs.Json.String r.name);
+      ( "config",
+        Obs.Json.Obj
+          [
+            ("machines", Obs.Json.Int r.config.machines);
+            ("cycles", Obs.Json.Int r.config.cycles);
+            ("canary", Obs.Json.Int r.config.canary);
+            ("requests", Obs.Json.Int r.config.requests);
+            ("jitter_pct", Obs.Json.Float r.config.jitter_pct);
+            ("seed", Obs.Json.Int r.config.seed);
+            ("window", Obs.Json.Int r.config.window);
+            ("decay", Obs.Json.Float r.config.decay);
+            ("threshold_pct", Obs.Json.Float r.config.threshold_pct);
+            ( "sabotage_cycle",
+              match r.config.sabotage_cycle with
+              | None -> Obs.Json.Null
+              | Some c -> Obs.Json.Int c );
+          ] );
+      ( "cycles",
+        Obs.Json.List
+          (List.map
+             (fun c ->
+               Obs.Json.Obj
+                 [
+                   ("cycle", Obs.Json.Int c.cycle);
+                   ("generation", Obs.Json.Int c.generation);
+                   ("candidate_digest", Obs.Json.String c.candidate_digest);
+                   ("verdict", Obs.Json.String (verdict_to_string c.verdict));
+                   ("judged", judged_json c.judged);
+                   ("aggregate", aggregate_json c.aggregate);
+                   ("aggregate_signature", Obs.Json.String c.aggregate_signature);
+                   ("aggregate_edges", Obs.Json.Int c.aggregate_edges);
+                   ("cycles_per_request", Obs.Json.Float c.cycles_per_request);
+                   ("fall_through_rate", Obs.Json.Float c.fall_through_rate);
+                   ("mispredict_rate", Obs.Json.Float c.mispredict_rate);
+                   ("requests", Obs.Json.Int c.requests);
+                 ])
+             r.reports) );
+      ("promotions", Obs.Json.Int r.promotions);
+      ("rollbacks", Obs.Json.Int r.rollbacks);
+      ("converged", Obs.Json.Bool r.converged);
+      ( "converged_after_relinks",
+        match r.converged_after_relinks with
+        | None -> Obs.Json.Null
+        | Some n -> Obs.Json.Int n );
+      ("final_generation", Obs.Json.Int r.final_generation);
+      ("final_digest", Obs.Json.String r.final_digest);
+      ("fleet_series", Obs.Timeseries.to_json r.fleet_series);
+      ( "machines",
+        Obs.Json.List
+          (List.map
+             (fun m ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Int (Machine.id m));
+                   ("generation", Obs.Json.Int (Machine.generation m));
+                   ("digest", Obs.Json.String (Machine.digest m));
+                   ("series", Obs.Timeseries.to_json (Machine.series m));
+                 ])
+             r.machines) );
+    ]

@@ -1,0 +1,96 @@
+(** The continuous profile → relink → canary → promote loop (paper §2,
+    Fig 1) over a simulated machine fleet.
+
+    Each cycle: every machine serves a round of seeded traffic and
+    ships its LBR shard to the {!Aggregate} store; the coordinator
+    relinks a candidate image from the decayed aggregate window (WPA
+    consumes the profile directly — machines run metadata builds with
+    the previous cycle's layout applied, so samples come from
+    already-optimized binaries); if the candidate's image digest equals
+    the deployed one the fleet has {e converged}, otherwise the
+    candidate deploys to a canary slice, a second serve round runs, and
+    {!Diagnostics.Compare} with {!Diagnostics.Compare.fleet_rules}
+    judges the canary slice against the control slice. A clean canary
+    promotes fleet-wide; a regression rolls the canary back — and the
+    rejected candidate's shards, already in the store, are translated
+    back through {!Inspect.Resolve} like any stale shard.
+
+    Everything runs on simulated clocks, so a (seed, config) pair
+    yields byte-identical reports and JSON at any [--jobs] width. *)
+
+type config = {
+  machines : int;
+  cycles : int;
+  canary : int;  (** Canary slice size (clamped to machines - 1). *)
+  requests : int;  (** Mean requests per machine per serve round. *)
+  jitter_pct : float;  (** Per-(seed, machine, round) traffic spread. *)
+  seed : int;
+  window : int;  (** Aggregation window, in serve rounds. *)
+  decay : float;  (** Per-round shard decay. *)
+  serve_window_s : float;  (** Simulated duration of one serve round. *)
+  threshold_pct : float;  (** Canary judgment threshold. *)
+  sabotage_cycle : int option;
+      (** Force a pathological candidate (every block its own cluster,
+          ordering reversed) at this cycle — the stale-profile drill
+          that must be caught by the canary judge and rolled back. *)
+  lbr : Perfmon.Lbr.config;
+  wpa : Propeller.Wpa.config;
+  core : Uarch.Core.config;
+}
+
+val default_config : config
+
+type verdict =
+  | Promoted  (** Canary judged clean; candidate deployed fleet-wide. *)
+  | Rolled_back  (** Canary regressed; slice redeployed the old image. *)
+  | Converged  (** Candidate digest equals the deployed digest. *)
+
+val verdict_to_string : verdict -> string
+
+type cycle_report = {
+  cycle : int;  (** 1-based. *)
+  generation : int;  (** Deployed generation after the cycle's verdict. *)
+  candidate_digest : string;
+  verdict : verdict;
+  judged : Diagnostics.Compare.outcome option;  (** [None] on converge. *)
+  aggregate : Aggregate.stats;
+  aggregate_signature : string;
+  aggregate_edges : int;
+  cycles_per_request : float;  (** Fleet mean over the serve round. *)
+  fall_through_rate : float;
+  mispredict_rate : float;
+  requests : int;  (** Total requests served this cycle (all rounds). *)
+}
+
+type result = {
+  name : string;
+  config : config;
+  machines : Machine.t list;
+  fleet_series : Obs.Timeseries.t;
+  reports : cycle_report list;  (** One per cycle, in order. *)
+  promotions : int;
+  rollbacks : int;
+  converged : bool;  (** Some cycle reached {!Converged}. *)
+  converged_after_relinks : int option;
+      (** Promotions before the first converged cycle. *)
+  final_generation : int;
+  final_digest : string;
+}
+
+(** [run ?config ~ctx ~program ~name ()] boots [config.machines]
+    machines on the generation-0 metadata build of [program] and runs
+    [config.cycles] optimization cycles. Canary pushes, promotions and
+    rollbacks are recorded as flight-recorder notes and every machine's
+    serve rounds appear as spans on its own Chrome-trace process lane
+    (pid [100 + id]). *)
+val run :
+  ?config:config -> ctx:Support.Ctx.t -> program:Ir.Program.t -> name:string -> unit -> result
+
+(** [report r] is the plain-text fleet health report: one line per
+    cycle plus the fleet and per-machine time-series with sparklines. *)
+val report : result -> string
+
+(** [to_json r] is the deterministic fleet report (schema_version 1):
+    config echo, per-cycle verdicts, aggregate accounting, fleet and
+    per-machine series. No wall-clock anywhere. *)
+val to_json : result -> Obs.Json.t

@@ -63,6 +63,7 @@ module Summ = struct
     let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
+    if n = 0 then invalid_arg "Metrics.percentile: empty sample list";
     if n = 1 then arr.(0)
     else begin
       let rank = p /. 100.0 *. float_of_int (n - 1) in
@@ -102,6 +103,8 @@ let summary t name =
   match Hashtbl.find_opt t.histograms name with
   | None -> None
   | Some r -> summarize !r
+
+let percentile = Summ.percentile
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k r acc -> (k, value r) :: acc) tbl []

@@ -45,6 +45,12 @@ type summary = {
 (** [summary t name] summarizes a histogram; [None] when empty. *)
 val summary : t -> string -> summary option
 
+(** [percentile p xs] is the linear-interpolation percentile the
+    summaries use (numpy's "linear"; exact for 1–2 samples), shared
+    with {!Timeseries} so every percentile in an export follows one
+    rule. Raises [Invalid_argument] on the empty list. *)
+val percentile : float -> float list -> float
+
 (** Sorted views for exporters. *)
 val counters : t -> (string * int) list
 

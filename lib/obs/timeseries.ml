@@ -1,0 +1,249 @@
+type kind = Counter | Gauge | Rate
+
+let kind_to_string = function Counter -> "counter" | Gauge -> "gauge" | Rate -> "rate"
+
+type summary = {
+  index : int;
+  start_s : float;
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  last : float;
+  p50 : float;
+  p99 : float;
+  value : float;
+}
+
+type window = {
+  w_index : int;
+  mutable w_count : int;
+  mutable w_sum : float;
+  mutable w_min : float;
+  mutable w_max : float;
+  mutable w_last : float;
+  mutable w_samples : float list;  (* reversed *)
+}
+
+type series = { s_kind : kind; mutable wins : window list (* newest first *) }
+
+type t = {
+  clk : Clock.t;
+  width : float;
+  capacity : int;
+  decay : float;
+  series : (string, series) Hashtbl.t;
+}
+
+let create ?(window_s = 1.0) ?(capacity = 120) ?(decay = 0.5) clk =
+  if window_s <= 0.0 then invalid_arg "Timeseries.create: window_s must be positive";
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity must be positive";
+  if decay < 0.0 || decay > 1.0 then invalid_arg "Timeseries.create: decay must be in [0, 1]";
+  { clk; width = window_s; capacity; decay; series = Hashtbl.create 16 }
+
+let window_s t = t.width
+
+(* Window index of a simulated time. Quotients within 1e-9 of an
+   integer snap to it, so a sample at exactly [k * window_s] opens
+   window [k] even when the division is inexact (0.3 /. 0.1 < 3.0). *)
+let index_of t now =
+  let q = now /. t.width in
+  let r = Float.round q in
+  if Float.abs (q -. r) < 1e-9 then int_of_float r else int_of_float (floor q)
+
+let fresh_window w_index =
+  {
+    w_index;
+    w_count = 0;
+    w_sum = 0.0;
+    w_min = Float.infinity;
+    w_max = Float.neg_infinity;
+    w_last = 0.0;
+    w_samples = [];
+  }
+
+let record t kind name v =
+  let s =
+    match Hashtbl.find_opt t.series name with
+    | Some s ->
+      if s.s_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Timeseries.record: %s is a %s series, not a %s" name
+             (kind_to_string s.s_kind) (kind_to_string kind));
+      s
+    | None ->
+      let s = { s_kind = kind; wins = [] } in
+      Hashtbl.add t.series name s;
+      s
+  in
+  let idx = index_of t (Clock.now t.clk) in
+  let w =
+    match s.wins with
+    | w :: _ when w.w_index = idx -> w
+    | _ ->
+      let w = fresh_window idx in
+      s.wins <- w :: s.wins;
+      (* Drop windows beyond capacity (the ring). *)
+      let rec cap n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: cap (n - 1) rest
+      in
+      s.wins <- cap t.capacity s.wins;
+      w
+  in
+  w.w_count <- w.w_count + 1;
+  w.w_sum <- w.w_sum +. v;
+  w.w_min <- Float.min w.w_min v;
+  w.w_max <- Float.max w.w_max v;
+  w.w_last <- v;
+  w.w_samples <- v :: w.w_samples
+
+let add t name v = record t Counter name v
+
+let set t name v = record t Gauge name v
+
+let rate t name v = record t Rate name v
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort String.compare
+
+let kind_of t name = Option.map (fun s -> s.s_kind) (Hashtbl.find_opt t.series name)
+
+let reading t kind (w : window) =
+  if w.w_count = 0 then 0.0
+  else
+    match kind with
+    | Counter -> w.w_sum
+    | Gauge -> w.w_last
+    | Rate -> w.w_sum /. t.width
+
+let summarize t kind w =
+  let empty = w.w_count = 0 in
+  {
+    index = w.w_index;
+    start_s = float_of_int w.w_index *. t.width;
+    count = w.w_count;
+    sum = w.w_sum;
+    vmin = (if empty then 0.0 else w.w_min);
+    vmax = (if empty then 0.0 else w.w_max);
+    last = w.w_last;
+    p50 = (if empty then 0.0 else Metrics.percentile 50.0 w.w_samples);
+    p99 = (if empty then 0.0 else Metrics.percentile 99.0 w.w_samples);
+    value = reading t kind w;
+  }
+
+(* Occupied windows oldest-first with interior gaps filled by empty
+   windows (capacity-bounded by construction: gaps wider than the ring
+   would have evicted the older window anyway). *)
+let filled_windows (s : series) =
+  let occupied = List.rev s.wins in
+  let rec fill = function
+    | a :: (b :: _ as rest) ->
+      let gap = List.init (b.w_index - a.w_index - 1) (fun i -> fresh_window (a.w_index + 1 + i)) in
+      (a :: gap) @ fill rest
+    | tail -> tail
+  in
+  fill occupied
+
+let windows t name =
+  match Hashtbl.find_opt t.series name with
+  | None -> []
+  | Some s -> List.map (summarize t s.s_kind) (filled_windows s)
+
+let latest t name =
+  match Hashtbl.find_opt t.series name with
+  | None | Some { wins = []; _ } -> None
+  | Some s -> Some (summarize t s.s_kind (List.hd s.wins))
+
+let decayed t name =
+  match Hashtbl.find_opt t.series name with
+  | None | Some { wins = []; _ } -> 0.0
+  | Some s ->
+    let newest = (List.hd s.wins).w_index in
+    let num, den =
+      List.fold_left
+        (fun (num, den) w ->
+          if w.w_count = 0 then (num, den)
+          else begin
+            let weight = t.decay ** float_of_int (newest - w.w_index) in
+            (num +. (weight *. reading t s.s_kind w), den +. weight)
+          end)
+        (0.0, 0.0) s.wins
+    in
+    if den = 0.0 then 0.0 else num /. den
+
+(* The 8-step block ramp; a space for empty windows so quiet periods
+   read as gaps. *)
+let ramp = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+              "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline t name =
+  match Hashtbl.find_opt t.series name with
+  | None | Some { wins = []; _ } -> ""
+  | Some s ->
+    let ws = filled_windows s in
+    let readings = List.map (fun w -> reading t s.s_kind w) ws in
+    let top = List.fold_left Float.max 0.0 readings in
+    let buf = Buffer.create (List.length ws * 3) in
+    List.iter2
+      (fun (w : window) v ->
+        if w.w_count = 0 then Buffer.add_char buf ' '
+        else begin
+          let step =
+            if top <= 0.0 then 0
+            else min 7 (int_of_float (v /. top *. 7.999))
+          in
+          Buffer.add_string buf ramp.(step)
+        end)
+      ws readings;
+    Buffer.contents buf
+
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun name ->
+      match latest t name with
+      | None -> ()
+      | Some l ->
+        let s = Hashtbl.find t.series name in
+        Printf.bprintf buf "%-36s %-7s last=%-12.4f decayed=%-12.4f p99=%-12.4f %s\n" name
+          (kind_to_string s.s_kind) l.value (decayed t name) l.p99 (sparkline t name))
+    (names t);
+  Buffer.contents buf
+
+let summary_json (s : summary) =
+  Json.Obj
+    [
+      ("index", Json.Int s.index);
+      ("start_s", Json.Float s.start_s);
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("min", Json.Float s.vmin);
+      ("max", Json.Float s.vmax);
+      ("last", Json.Float s.last);
+      ("p50", Json.Float s.p50);
+      ("p99", Json.Float s.p99);
+      ("value", Json.Float s.value);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("window_s", Json.Float t.width);
+      ("capacity", Json.Int t.capacity);
+      ("decay", Json.Float t.decay);
+      ( "series",
+        Json.Obj
+          (List.map
+             (fun name ->
+               let s = Hashtbl.find t.series name in
+               ( name,
+                 Json.Obj
+                   [
+                     ("kind", Json.String (kind_to_string s.s_kind));
+                     ("decayed", Json.Float (decayed t name));
+                     ("windows", Json.List (List.map summary_json (windows t name)));
+                   ] ))
+             (names t)) );
+    ]

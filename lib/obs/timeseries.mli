@@ -1,0 +1,101 @@
+(** Windowed time-series on the simulated {!Clock}: the fleet-telemetry
+    store behind per-machine health metrics.
+
+    A store holds named series; each series buckets its samples into
+    fixed-width windows keyed by [floor (now / window_s)] and keeps the
+    last [capacity] windows in a ring — old windows fall off, so memory
+    is bounded no matter how long a fleet run lasts. Three kinds:
+
+    - {b Counter}: the window's reading is the sum of samples (events
+      per window: requests served, shards merged);
+    - {b Gauge}: the reading is the last sample (levels: cycles per
+      request, fall-through rate);
+    - {b Rate}: the reading is the sum divided by the window width
+      (events per second).
+
+    Every window also summarizes its raw samples (count, sum, min/max,
+    p50/p99 by the same interpolated-percentile rule as
+    {!Metrics.summary}), so tail latencies survive the bucketing.
+    Cross-window aggregation applies exponential decay: a window [a]
+    steps older than the newest weighs [decay ** a], which is how the
+    profile-aggregation service forgets drifted traffic. [decay = 0]
+    degrades to "newest window only"; [decay = 1] to an unweighted
+    mean.
+
+    Everything is a pure function of the recorded samples and the
+    simulated clock — no wall time anywhere — so two identical runs
+    render and serialize byte-identically. *)
+
+type kind = Counter | Gauge | Rate
+
+val kind_to_string : kind -> string
+
+(** One window's digest. [value] is the kind-dependent reading
+    described above; [p50]/[p99] interpolate the window's raw samples. *)
+type summary = {
+  index : int;  (** Window number since the clock's epoch. *)
+  start_s : float;  (** Simulated start of the window. *)
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  last : float;
+  p50 : float;
+  p99 : float;
+  value : float;
+}
+
+type t
+
+(** [create clock] makes an empty store bucketing at [window_s]
+    (default 1.0) simulated seconds, keeping the last [capacity]
+    (default 120) windows per series, decaying at [decay] (default 0.5)
+    per window of age. Raises [Invalid_argument] on a non-positive
+    width/capacity or a decay outside [0, 1]. *)
+val create : ?window_s:float -> ?capacity:int -> ?decay:float -> Clock.t -> t
+
+val window_s : t -> float
+
+(** [record t kind name v] appends one sample at the clock's current
+    time. The first record of a name fixes the series kind; a later
+    mismatch raises [Invalid_argument]. A sample landing exactly on a
+    window boundary [k * window_s] opens window [k] (half-open
+    windows). *)
+val record : t -> kind -> string -> float -> unit
+
+(** [add]/[set]/[rate] are {!record} with the kind spelled out. *)
+val add : t -> string -> float -> unit
+
+val set : t -> string -> float -> unit
+
+val rate : t -> string -> float -> unit
+
+(** [names t] lists series names, sorted. *)
+val names : t -> string list
+
+val kind_of : t -> string -> kind option
+
+(** [windows t name] summarizes the live windows, oldest first. Gaps
+    between occupied windows are materialized as empty summaries
+    (count 0, value 0) so renderings show quiet periods; an unknown
+    name is []. *)
+val windows : t -> string -> summary list
+
+(** [latest t name] is the newest window's summary. *)
+val latest : t -> string -> summary option
+
+(** [decayed t name] is the exponential-decay weighted mean of the live
+    windows' readings, newest weighing 1; 0 for an unknown or empty
+    series. Empty gap windows are skipped (they carry no reading). *)
+val decayed : t -> string -> float
+
+(** [sparkline t name] draws one character per live window (oldest
+    first) from the 8-step block ramp, scaled to the series' maximum
+    reading; empty for an unknown series. *)
+val sparkline : t -> string -> string
+
+(** [render t] is an aligned plain-text table: one row per series with
+    its kind, newest reading, decayed mean, p99 and sparkline. *)
+val render : t -> string
+
+val to_json : t -> Json.t

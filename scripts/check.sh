@@ -184,6 +184,52 @@ if [ "$clean" != "$nodeg" ]; then
   exit 1
 fi
 
+echo "== fleet continuous-relink smoke =="
+# The continuous profile -> relink -> canary loop. A quiesced run
+# (steady traffic, dense sampling, single-round window) must reach its
+# fixed point within two relinks and produce a byte-identical JSON
+# report on rerun; a sabotaged canary must be judged, rolled back, and
+# leave its verdict in the flight-recorder dump.
+for rerun in a b; do
+  dune exec bin/propeller_fleet.exe -- run \
+    -b 505.mcf -r 60 --machines 4 --cycles 3 --seed 7 \
+    --lbr-period 1 --jitter 0 --window 1 \
+    --json-out "$out_dir/fleet_$rerun.json" >"$out_dir/fleet_$rerun.log"
+done
+cmp -s "$out_dir/fleet_a.json" "$out_dir/fleet_b.json" || {
+  echo "FAIL: fleet JSON report differs across identical reruns" >&2
+  exit 1
+}
+grep -q '"converged":true' "$out_dir/fleet_a.json" || {
+  echo "FAIL: quiesced fleet loop did not converge" >&2
+  cat "$out_dir/fleet_a.log" >&2
+  exit 1
+}
+grep -Eq '"converged_after_relinks":[12],' "$out_dir/fleet_a.json" || {
+  echo "FAIL: fleet loop needed more than two relinks to converge" >&2
+  cat "$out_dir/fleet_a.log" >&2
+  exit 1
+}
+dune exec bin/propeller_fleet.exe -- run \
+  -b 505.mcf -r 60 --machines 4 --cycles 2 --seed 7 \
+  --lbr-period 1 --jitter 0 --window 1 --sabotage-cycle 2 \
+  --json-out "$out_dir/fleet_sab.json" \
+  >"$out_dir/fleet_sab.log" 2>"$out_dir/fleet_sab.err"
+grep -q '"verdict":"rolled_back"' "$out_dir/fleet_sab.json" || {
+  echo "FAIL: sabotaged canary was not rolled back" >&2
+  cat "$out_dir/fleet_sab.log" >&2
+  exit 1
+}
+grep -q '"rollbacks":1' "$out_dir/fleet_sab.json" || {
+  echo "FAIL: sabotage drill recorded no rollback" >&2
+  exit 1
+}
+grep -q 'fleet.rollback' "$out_dir/fleet_sab.err" || {
+  echo "FAIL: rollback verdict missing from the flight-recorder dump" >&2
+  cat "$out_dir/fleet_sab.err" >&2
+  exit 1
+}
+
 echo "== bench regression gate =="
 # Emit a fresh bench JSON for the small progen workload and diff it
 # against the committed golden baseline; >5% regression fails the check.
@@ -201,4 +247,4 @@ scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {
   exit 1
 }
 
-echo "OK: build + tests + trace smoke + fault smoke + bench gate all green"
+echo "OK: build + tests + trace smoke + fault smoke + fleet smoke + bench gate all green"

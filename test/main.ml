@@ -15,6 +15,7 @@ let () =
       ("perfmon", Test_perfmon.suite);
       ("uarch", Test_uarch.suite);
       ("obs", Test_obs.suite);
+      ("timeseries", Test_timeseries.suite);
       ("selfprof", Test_selfprof.suite);
       ("buildsys", Test_buildsys.suite);
       ("propeller", Test_propeller.suite);
@@ -23,5 +24,6 @@ let () =
       ("diagnostics", Test_diagnostics.suite);
       ("inspect", Test_inspect.suite);
       ("integration", Test_integration.suite);
+      ("fleet", Test_fleet.suite);
       ("properties", Test_properties.suite);
     ]

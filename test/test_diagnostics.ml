@@ -239,6 +239,46 @@ let test_compare_schema_gained_key_noted () =
        (fun n -> contains_sub n "relinks_per_sec")
        o.Diagnostics.Compare.notes)
 
+let test_diff_stdout_parseable () =
+  (* The `propeller_stat diff` contract: verdict/MISSING lines go to
+     stdout, NOTE lines to stderr. On a mixed-schema diff (older
+     baseline, current file with a gained judged metric) every stdout
+     line must parse as `<mark> <metric> ...` with a fixed mark, and no
+     NOTE may leak into the parseable half. *)
+  let baseline = bench_json ~prop:10.0 ~cov:0.5 () in
+  let current =
+    match bench_json ~schema:2 ~prop:8.0 ~cov:0.5 () with
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (fields
+        @ [ ("selfspeed", Obs.Json.Obj [ ("relinks_per_sec", Obs.Json.Float 4.2) ]) ])
+    | _ -> assert false
+  in
+  let o = run_compare ~baseline ~current () in
+  let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let stdout_lines = lines (Diagnostics.Compare.render_verdicts o) in
+  check tb "stdout nonempty" true (stdout_lines <> []);
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l |> List.filter (fun w -> w <> "") with
+      | mark :: metric :: _ ->
+        check tb
+          (Printf.sprintf "line %S has a fixed mark" l)
+          true
+          (List.mem mark [ "ok"; "improved"; "REGRESSED"; "MISSING" ]);
+        check tb "metric field present" true (String.length metric > 0)
+      | _ -> Alcotest.failf "unparseable stdout line: %S" l)
+    stdout_lines;
+  check tb "no NOTE on stdout" false
+    (List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "NOTE") stdout_lines);
+  let note_lines = lines (Diagnostics.Compare.render_notes o) in
+  check tb "mixed-schema diff produced notes" true (note_lines <> []);
+  List.iter
+    (fun l ->
+      check tb (Printf.sprintf "note %S marked NOTE" l) true
+        (String.length l >= 4 && String.sub l 0 4 = "NOTE"))
+    note_lines
+
 let test_compare_selfspeed_widened_tolerance () =
   (* selfspeed carries a 10x tolerance_scale: a -30% wall-clock wobble
      passes at the default 5% threshold (effective 50%), while the same
@@ -267,6 +307,7 @@ let suite =
     Alcotest.test_case "compare: missing metric fails" `Quick test_compare_missing_metric;
     Alcotest.test_case "compare: schema guard" `Quick test_compare_schema_guard;
     Alcotest.test_case "compare: gained key noted" `Quick test_compare_schema_gained_key_noted;
+    Alcotest.test_case "compare: diff stdout parseable" `Quick test_diff_stdout_parseable;
     Alcotest.test_case "compare: selfspeed tolerance" `Quick
       test_compare_selfspeed_widened_tolerance;
   ]

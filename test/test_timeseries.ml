@@ -1,0 +1,105 @@
+open Testutil
+
+(* --- Obs.Timeseries edge cases ------------------------------------ *)
+
+let test_single_sample () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:1.0 clk in
+  Obs.Clock.advance clk 0.25;
+  Obs.Timeseries.set t "g" 42.0;
+  match Obs.Timeseries.latest t "g" with
+  | None -> Alcotest.fail "expected a window"
+  | Some s ->
+    check ti "count" 1 s.count;
+    check tf "sum" 42.0 s.sum;
+    check tf "last" 42.0 s.last;
+    check tf "p50 of one sample" 42.0 s.p50;
+    check tf "p99 of one sample" 42.0 s.p99;
+    check tf "gauge value is the sample" 42.0 s.value;
+    check tf "decayed mean of one window" 42.0 (Obs.Timeseries.decayed t "g")
+
+let test_empty_gap_windows () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:1.0 clk in
+  Obs.Timeseries.add t "c" 1.0;
+  Obs.Clock.advance clk 2.5;  (* skip window 1 entirely *)
+  Obs.Timeseries.add t "c" 3.0;
+  let ws = Obs.Timeseries.windows t "c" in
+  check ti "gap materialized" 3 (List.length ws);
+  let w1 = List.nth ws 1 in
+  check ti "gap index" 1 w1.Obs.Timeseries.index;
+  check ti "gap is empty" 0 w1.count;
+  check tf "gap reads zero" 0.0 w1.value;
+  (* Empty windows carry no reading, so the decayed mean sees only
+     windows 0 and 2: (3 + 0.25 * 1) / 1.25. *)
+  check tf "decay skips gaps" 2.6 (Obs.Timeseries.decayed t "c")
+
+let test_boundary_rollover () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:1.0 clk in
+  Obs.Timeseries.add t "c" 1.0;
+  Obs.Clock.advance clk 1.0;
+  (* Half-open windows: a sample landing exactly on k * window_s opens
+     window k instead of extending window k - 1. *)
+  Obs.Timeseries.add t "c" 5.0;
+  let ws = Obs.Timeseries.windows t "c" in
+  check ti "two windows" 2 (List.length ws);
+  let w0 = List.nth ws 0 and w1 = List.nth ws 1 in
+  check ti "first window index" 0 w0.Obs.Timeseries.index;
+  check tf "first window keeps its sample" 1.0 w0.value;
+  check ti "boundary sample opens the next window" 1 w1.Obs.Timeseries.index;
+  check tf "second window sums alone" 5.0 w1.value;
+  check tf "window start is the boundary" 1.0 w1.start_s
+
+let test_decay_to_zero () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:1.0 ~decay:0.0 clk in
+  Obs.Timeseries.add t "c" 100.0;
+  Obs.Clock.advance clk 1.0;
+  Obs.Timeseries.add t "c" 4.0;
+  (* decay = 0 degrades to "newest window only": 0^0 = 1 weighs the
+     newest, 0^1 = 0 erases all history. *)
+  check tf "zero decay forgets instantly" 4.0 (Obs.Timeseries.decayed t "c")
+
+let test_capacity_eviction () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:1.0 ~capacity:3 clk in
+  for i = 0 to 5 do
+    Obs.Timeseries.add t "c" (float_of_int i);
+    Obs.Clock.advance clk 1.0
+  done;
+  let ws = Obs.Timeseries.windows t "c" in
+  check ti "ring keeps the last capacity windows" 3 (List.length ws);
+  check ti "oldest surviving window" 3 (List.nth ws 0).Obs.Timeseries.index;
+  check tf "newest reading intact" 5.0 (List.nth ws 2).Obs.Timeseries.value
+
+let test_kind_mismatch_rejected () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create clk in
+  Obs.Timeseries.add t "m" 1.0;
+  (try
+     Obs.Timeseries.set t "m" 2.0;
+     Alcotest.fail "expected kind mismatch rejection"
+   with Invalid_argument _ -> ());
+  check tb "series kind fixed by first record" true
+    (Obs.Timeseries.kind_of t "m" = Some Obs.Timeseries.Counter)
+
+let test_rate_reading () =
+  let clk = Obs.Clock.create () in
+  let t = Obs.Timeseries.create ~window_s:2.0 clk in
+  Obs.Timeseries.rate t "r" 10.0;
+  Obs.Timeseries.rate t "r" 4.0;
+  match Obs.Timeseries.latest t "r" with
+  | None -> Alcotest.fail "expected a window"
+  | Some s -> check tf "rate divides by window width" 7.0 s.value
+
+let suite =
+  [
+    Alcotest.test_case "single sample summary" `Quick test_single_sample;
+    Alcotest.test_case "empty gap windows" `Quick test_empty_gap_windows;
+    Alcotest.test_case "boundary rollover" `Quick test_boundary_rollover;
+    Alcotest.test_case "decay to zero" `Quick test_decay_to_zero;
+    Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "rate reading" `Quick test_rate_reading;
+  ]
