@@ -542,14 +542,14 @@ let ablation_inter () =
   let wb = Workbench.get Progen.Suite.clang in
   let t0 = Unix.gettimeofday () in
   let wpa_intra =
-    Propeller.Wpa.analyze ~config:Propeller.Wpa.default_config ~profile:wb.prop.profile
-      ~binary:wb.prop.metadata_build.binary ()
+    Propeller.Wpa.analyze ~config:Propeller.Wpa.default_config
+      ~profile:(Propeller.Wpa.Lbr wb.prop.profile) ~binary:wb.prop.metadata_build.binary ()
   in
   let t1 = Unix.gettimeofday () in
   let wpa_inter =
     Propeller.Wpa.analyze
       ~config:{ Propeller.Wpa.default_config with mode = Propeller.Wpa.Interproc }
-      ~profile:wb.prop.profile ~binary:wb.prop.metadata_build.binary ()
+      ~profile:(Propeller.Wpa.Lbr wb.prop.profile) ~binary:wb.prop.metadata_build.binary ()
   in
   let t2 = Unix.gettimeofday () in
   let build label wpa =

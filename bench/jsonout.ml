@@ -22,8 +22,13 @@
    loop over a small simulated fleet: per-cycle cycles-per-request
    trajectory, canary verdicts, and how many relinks the loop needs to
    converge. Simulated clocks only, so fully deterministic.
+   Informational only: Compare's judged allowlist ignores it.
+   v7: per-benchmark "fidelity" object — the LBR-vs-sampled
+   profile-source gap (ISSUE 8): both pipelines over the same workload,
+   per-function weight correlation, achieved fall-through rate, Ext-TSP
+   score and simulated cycles per source. Fully deterministic.
    Informational only: Compare's judged allowlist ignores it. *)
-let schema_version = 6
+let schema_version = 7
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -276,6 +281,21 @@ let fleet_json (spec : Progen.Spec.t) =
       ("final_digest", Obs.Json.String r.final_digest);
     ]
 
+(* The profile-source fidelity gap: how much layout quality hardware
+   branch records buy over portable software samples, on this very
+   workload. Runs both pipelines (shared metadata build) plus the
+   baseline; everything is on simulated clocks, so byte-stable. *)
+let fidelity_json (spec : Progen.Spec.t) =
+  let program = Progen.Generate.program spec in
+  let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) () in
+  let fid =
+    Diagnostics.Fidelity.analyze
+      ~pipeline:(Workbench.pipeline_config spec)
+      ~core:(Workbench.core_config spec)
+      ~requests:spec.requests ~ctx ~program ~name:spec.name ()
+  in
+  Diagnostics.Fidelity.to_json fid
+
 let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
   let wb = Workbench.get spec in
   let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
@@ -317,6 +337,7 @@ let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
         ("resilience", resilience_json spec);
         ("selfspeed", selfspeed_json spec);
         ("fleet", fleet_json spec);
+        ("fidelity", fidelity_json spec);
       ]
       @
       match parallel_json spec ~jobs_sweep with

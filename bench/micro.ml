@@ -75,7 +75,7 @@ let wpa_test =
   Test.make ~name:"wpa_analyze_mcf"
     (Staged.stage (fun () ->
          let _, _, binary, _, profile = Lazy.force mcf_artifacts in
-         ignore (Propeller.Wpa.analyze ~profile ~binary ())))
+         ignore (Propeller.Wpa.analyze ~profile:(Propeller.Wpa.Lbr profile) ~binary ())))
 
 let exec_test =
   Test.make ~name:"exec_50_requests_mcf"

@@ -68,6 +68,38 @@ let self_profile_out_term =
           "Write the self-profile (per-path host seconds, allocation, GC counts) as JSON \
            to $(docv). Implies $(b,--self-profile).")
 
+(* Enum-valued flag converter shared by every tool: an unknown value is
+   a usage error (exit 124 via Cmdliner) that names each valid value,
+   never a bare exception. Used for --variant and --profile-source. *)
+let enum_conv ~what values =
+  let alts = String.concat ", " (List.map fst values) in
+  let parse s =
+    match List.assoc_opt s values with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid %s %S; valid values are: %s" what s alts))
+  in
+  let print fmt v =
+    match List.find_opt (fun (_, v') -> v' = v) values with
+    | Some (name, _) -> Format.pp_print_string fmt name
+    | None -> Format.pp_print_string fmt "<unknown>"
+  in
+  Arg.conv (parse, print)
+
+let profile_source_conv =
+  enum_conv ~what:"profile source"
+    (List.map (fun s -> (Perfmon.Source.to_string s, s)) Perfmon.Source.all)
+
+let profile_source_term =
+  Arg.(
+    value
+    & opt profile_source_conv Perfmon.Source.Lbr
+    & info [ "profile-source" ] ~docv:"SOURCE"
+        ~doc:
+          "Where the layout profile comes from: $(b,lbr) (hardware branch records, the \
+           paper's path) or $(b,sampled) (portable software stack sampler; CFG edge \
+           weights are synthesized AutoFDO-style, no mispredict bits).")
+
 let benchmark_term =
   Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
 

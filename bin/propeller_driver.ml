@@ -6,8 +6,8 @@
 
 open Cmdliner
 
-let run benchmark requests interproc no_split hugepages prefetch jobs seed faults verbose
-    trace_file metrics metrics_out self_profile self_profile_out =
+let run benchmark requests profile_source interproc no_split hugepages prefetch jobs seed
+    faults verbose trace_file metrics metrics_out self_profile self_profile_out =
   let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
   Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
@@ -23,6 +23,7 @@ let run benchmark requests interproc no_split hugepages prefetch jobs seed fault
       profile_run = { Exec.Interp.default_config with requests = spec.requests };
       hugepages = hugepages || spec.hugepages;
       prefetch;
+      profile_source;
       wpa =
         {
           Propeller.Wpa.default_config with
@@ -33,9 +34,16 @@ let run benchmark requests interproc no_split hugepages prefetch jobs seed fault
   in
   let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
   Printf.printf "phase 2 (metadata build): %.1fs wall\n" result.times.metadata_build_s;
-  Printf.printf "phase 3 (profile + WPA): %d samples, %d hot funcs, %.1fs, peak %.2f GB\n"
-    result.profile.num_samples result.wpa.hot_funcs result.times.conversion_s
+  Printf.printf "phase 3 (profile + WPA, source %s): %d samples, %d hot funcs, %.1fs, peak %.2f GB\n"
+    (Perfmon.Source.to_string result.source) result.profile.num_samples result.wpa.hot_funcs
+    result.times.conversion_s
     (float_of_int result.wpa.peak_mem_bytes /. 1.0e9);
+  (match result.samples with
+  | Some sw ->
+    Printf.printf "  software sampler: %d samples, %d frames, %d distinct leaf PCs\n"
+      sw.Perfmon.Sampler.num_samples sw.Perfmon.Sampler.num_frames
+      (Perfmon.Sampler.distinct_leaves sw)
+  | None -> ());
   Printf.printf "phase 4 (relink): %d/%d objects re-generated, %.1fs wall\n"
     result.hot_objects result.total_objects result.times.optimize_build_s;
   Printf.printf "layout cache: %d hits, %d misses (jobs=%d)\n"
@@ -112,7 +120,8 @@ let cmd =
   Cmd.v
     (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
     Term.(
-      const run $ Cli_common.benchmark_term $ Cli_common.requests_term $ interproc $ no_split
+      const run $ Cli_common.benchmark_term $ Cli_common.requests_term
+      $ Cli_common.profile_source_term $ interproc $ no_split
       $ hugepages $ prefetch $ Cli_common.jobs_term $ Cli_common.seed_term
       $ Cli_common.faults_term $ verbose $ Cli_common.trace_term $ metrics
       $ Cli_common.metrics_out_term $ Cli_common.self_profile_term

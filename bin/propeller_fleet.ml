@@ -14,9 +14,9 @@ let log2i v =
   let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
   go v 0
 
-let run_fleet benchmark requests machines cycles canary fleet_requests jitter lbr_period
-    window decay threshold sabotage_cycle json json_out jobs seed faults trace metrics_out
-    self_profile self_profile_out =
+let run_fleet benchmark requests profile_source machines cycles canary fleet_requests jitter
+    lbr_period window decay threshold sabotage_cycle json json_out jobs seed faults trace
+    metrics_out self_profile self_profile_out =
   let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
   let recorder = ctx.Support.Ctx.recorder in
   Cli_common.with_flight_guard recorder @@ fun () ->
@@ -30,6 +30,7 @@ let run_fleet benchmark requests machines cycles canary fleet_requests jitter lb
       requests = (match fleet_requests with Some r -> r | None -> spec.Progen.Spec.requests);
       jitter_pct = jitter;
       lbr = { Fleet.Rollout.default_config.lbr with Perfmon.Lbr.period = lbr_period };
+      profile_source;
       seed = Option.value seed ~default:Fleet.Rollout.default_config.seed;
       window;
       decay;
@@ -146,8 +147,8 @@ let json_out_term =
 
 let run_term =
   Term.(
-    const run_fleet $ Cli_common.benchmark_term $ Cli_common.requests_term $ machines_term
-    $ cycles_term $ canary_term $ fleet_requests_term $ jitter_term $ lbr_period_term
+    const run_fleet $ Cli_common.benchmark_term $ Cli_common.requests_term
+    $ Cli_common.profile_source_term $ machines_term $ cycles_term $ canary_term $ fleet_requests_term $ jitter_term $ lbr_period_term
     $ window_term $ decay_term
     $ threshold_term $ sabotage_term $ json_term $ json_out_term $ Cli_common.jobs_term
     $ Cli_common.seed_term $ Cli_common.faults_term $ Cli_common.trace_term

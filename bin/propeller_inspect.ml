@@ -19,12 +19,13 @@ type variant = Base | Pm | Po
 type ctx = {
   spec : Progen.Spec.t;
   program : Ir.Program.t;
+  source : Perfmon.Source.t;
   base : Linker.Binary.t;
   pm : Linker.Binary.t;
   po : Linker.Binary.t;
 }
 
-let make_ctx benchmark requests (common : Cli_common.common) quiet =
+let make_ctx benchmark requests profile_source (common : Cli_common.common) quiet =
   let run_ctx = Cli_common.context_of_common common in
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
   if not quiet then Printf.printf "running pipeline on %s...\n%!" spec.name;
@@ -36,6 +37,7 @@ let make_ctx benchmark requests (common : Cli_common.common) quiet =
       Propeller.Pipeline.default_config with
       profile_run = { Exec.Interp.default_config with requests = spec.requests };
       hugepages = spec.hugepages;
+      profile_source;
     }
   in
   let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
@@ -46,6 +48,7 @@ let make_ctx benchmark requests (common : Cli_common.common) quiet =
   {
     spec;
     program;
+    source = profile_source;
     base = base.Buildsys.Driver.binary;
     pm = result.Propeller.Pipeline.metadata_build.Buildsys.Driver.binary;
     po = Propeller.Pipeline.optimized_binary result;
@@ -57,16 +60,32 @@ let binary_of ctx = function Base -> ctx.base | Pm -> ctx.pm | Po -> ctx.po
    workload — the same collection the pipeline's Phase 3 performs, but
    against whichever image is being inspected. *)
 let profile_of ctx binary =
-  let profile = Perfmon.Lbr.create_profile () in
   let image = Exec.Image.build ctx.program binary in
-  let (_ : Exec.Interp.stats) =
-    Exec.Interp.run image
-      { Exec.Interp.default_config with requests = ctx.spec.Progen.Spec.requests }
-      (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+  let run_config =
+    { Exec.Interp.default_config with requests = ctx.spec.Progen.Spec.requests }
   in
   (* [ctx] here is the inspection context, not a [Support.Ctx.t]; the
      run stays on the global recorder's "exec:run" span. *)
-  profile
+  match ctx.source with
+  | Perfmon.Source.Lbr ->
+    let profile = Perfmon.Lbr.create_profile () in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image run_config (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+    in
+    profile
+  | Perfmon.Source.Sampled ->
+    if binary.Linker.Binary.bb_maps = [] then begin
+      Printf.eprintf
+        "--profile-source sampled needs BB address map metadata to synthesize edge weights; \
+         the inspected image has none (use --variant pm or po)\n";
+      exit 2
+    end;
+    let samples = Perfmon.Sampler.create_profile () in
+    let (_ : Exec.Interp.stats) =
+      Exec.Interp.run image run_config
+        (Perfmon.Sampler.collector Perfmon.Sampler.default_config samples)
+    in
+    Propeller.Autofdo.synthesize ~samples ~program:ctx.program ~binary ()
 
 (* Every emitted JSON document round-trips through the parser before it
    leaves the tool; a document we cannot re-read is a bug, not output. *)
@@ -86,8 +105,8 @@ let emit ~json ~out ~to_json ~to_text =
   | Some file -> Cli_common.write_file file rendered
   | None -> print_string rendered
 
-let run_annotate benchmark requests common variant func top json out =
-  let ctx = make_ctx benchmark requests common (json || out <> None) in
+let run_annotate benchmark requests profile_source common variant func top json out =
+  let ctx = make_ctx benchmark requests profile_source common (json || out <> None) in
   let binary = binary_of ctx variant in
   let profile = profile_of ctx binary in
   let t = Inspect.Annotate.analyze ~binary ~profile in
@@ -95,15 +114,15 @@ let run_annotate benchmark requests common variant func top json out =
     ~to_json:(fun () -> Inspect.Annotate.to_json ?func t)
     ~to_text:(fun () -> Inspect.Annotate.to_text ~top ?func t)
 
-let run_size benchmark requests common variant top json out =
-  let ctx = make_ctx benchmark requests common (json || out <> None) in
+let run_size benchmark requests profile_source common variant top json out =
+  let ctx = make_ctx benchmark requests profile_source common (json || out <> None) in
   let t = Inspect.Size.measure (binary_of ctx variant) in
   emit ~json ~out
     ~to_json:(fun () -> Inspect.Size.to_json t)
     ~to_text:(fun () -> Inspect.Size.to_text ~top t)
 
-let run_paths benchmark requests common variant max_paths max_len json out =
-  let ctx = make_ctx benchmark requests common (json || out <> None) in
+let run_paths benchmark requests profile_source common variant max_paths max_len json out =
+  let ctx = make_ctx benchmark requests profile_source common (json || out <> None) in
   let binary = binary_of ctx variant in
   let profile = profile_of ctx binary in
   let dcfg = Propeller.Dcfg.build_of_blocks ~profile ~binary in
@@ -112,8 +131,8 @@ let run_paths benchmark requests common variant max_paths max_len json out =
     ~to_json:(fun () -> Inspect.Paths.to_json paths)
     ~to_text:(fun () -> Inspect.Paths.to_folded paths)
 
-let run_diff benchmark requests common from_v to_v top json out =
-  let ctx = make_ctx benchmark requests common (json || out <> None) in
+let run_diff benchmark requests profile_source common from_v to_v top json out =
+  let ctx = make_ctx benchmark requests profile_source common (json || out <> None) in
   let a = binary_of ctx from_v and b = binary_of ctx to_v in
   let profile = profile_of ctx a in
   let t = Inspect.Diff.compare ~profile a b in
@@ -144,7 +163,11 @@ let requests = Cli_common.requests_term
 
 let common = Cli_common.common_term
 
-let variant_conv = Arg.enum [ ("base", Base); ("pm", Pm); ("po", Po) ]
+let profile_source = Cli_common.profile_source_term
+
+(* Shares cli_common's enum plumbing so a typoed --variant gets the
+   same "valid values are: ..." usage error as --profile-source. *)
+let variant_conv = Cli_common.enum_conv ~what:"variant" [ ("base", Base); ("pm", Pm); ("po", Po) ]
 
 let variant =
   Arg.(
@@ -178,7 +201,7 @@ let annotate_cmd =
          "Project LBR samples onto the final layout: per-block counts, taken vs fall-through \
           exits and mispredict rates.")
     Term.(
-      const run_annotate $ benchmark $ requests $ common $ variant $ func
+      const run_annotate $ benchmark $ requests $ profile_source $ common $ variant $ func
       $ top 10 "Hottest functions shown in text mode."
       $ json $ out)
 
@@ -189,7 +212,7 @@ let size_cmd =
          "Bloaty-style byte accounting: per-section and per-function bytes, hot/cold split and \
           metadata overhead (paper Fig 6).")
     Term.(
-      const run_size $ benchmark $ requests $ common $ variant
+      const run_size $ benchmark $ requests $ profile_source $ common $ variant
       $ top 20 "Largest functions shown in text mode."
       $ json $ out)
 
@@ -206,7 +229,7 @@ let paths_cmd =
          "Reconstruct hot control-flow paths from LBR samples as folded stacks \
           (flamegraph.pl-compatible).")
     Term.(
-      const run_paths $ benchmark $ requests $ common $ variant $ max_paths $ max_len $ json
+      const run_paths $ benchmark $ requests $ profile_source $ common $ variant $ max_paths $ max_len $ json
       $ out)
 
 let from_variant =
@@ -225,7 +248,7 @@ let diff_cmd =
          "Compare two linked images: block movement between layouts and hot-branch distance \
           histograms.")
     Term.(
-      const run_diff $ benchmark $ requests $ common $ from_variant $ to_variant
+      const run_diff $ benchmark $ requests $ profile_source $ common $ from_variant $ to_variant
       $ top 10 "Functions with most moved blocks shown in text mode."
       $ json $ out)
 

@@ -32,8 +32,8 @@ let measure ~(spec : Progen.Spec.t) ~ctx ~run_name program binary =
   Uarch.Core.publish ~ctx ~name:run_name core;
   Uarch.Core.counters core
 
-let run_stat benchmark requests jobs seed faults json out trace metrics_out self_profile
-    self_profile_out =
+let run_stat benchmark requests profile_source jobs seed faults json out trace metrics_out
+    self_profile self_profile_out =
   let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
   Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
@@ -47,6 +47,7 @@ let run_stat benchmark requests jobs seed faults json out trace metrics_out self
         Propeller.Pipeline.default_config with
         profile_run = { Exec.Interp.default_config with requests = spec.requests };
         hugepages = spec.hugepages;
+        profile_source;
       }
     in
     let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
@@ -142,10 +143,11 @@ let run_top from benchmark requests jobs limit folded =
       exit 2
     | Ok rows ->
       if folded then
-        List.iter
-          (fun (r : Obs.Selfprof.row) ->
-            Printf.printf "%s %.0f\n" r.path (r.self_host_s *. 1e6))
-          rows
+        print_string
+          (Obs.Folded.to_string
+             (List.map
+                (fun (r : Obs.Selfprof.row) -> (r.path, Obs.Folded.micros r.self_host_s))
+                rows))
       else
         print_string
           (Obs.Selfprof.render_hotspots (Obs.Selfprof.hotspots_of_rows ~limit rows)))
@@ -174,6 +176,50 @@ let run_top from benchmark requests jobs limit folded =
            (Obs.Selfprof.hotspots ~limit (Obs.Recorder.selfprof recorder)))
     end
 
+(* [fidelity]: the LBR-vs-sampled gap experiment — both pipelines over
+   one workload, one shared baseline, the deltas as one record. *)
+let run_fidelity benchmark requests jobs seed faults json out =
+  let ctx = Cli_common.context ~jobs ~seed ~faults () in
+  Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  if not json then
+    Printf.printf "measuring profile-source fidelity on %s...\n%!" spec.name;
+  let program = Progen.Generate.program spec in
+  let pipeline =
+    {
+      Propeller.Pipeline.default_config with
+      profile_run = { Exec.Interp.default_config with requests = spec.requests };
+      hugepages = spec.hugepages;
+    }
+  in
+  let core =
+    {
+      Uarch.Core.default_config with
+      hugepages = spec.hugepages;
+      page_scale_bits = log2i spec.scale;
+    }
+  in
+  let fid =
+    Diagnostics.Fidelity.analyze ~pipeline ~core ~requests:spec.requests ~ctx ~program
+      ~name:spec.name ()
+  in
+  let rendered =
+    if json then begin
+      let s = Obs.Json.to_string (Diagnostics.Fidelity.to_json fid) ^ "\n" in
+      match Obs.Json.parse s with
+      | Ok _ -> s
+      | Error e ->
+        Printf.eprintf "internal error: fidelity JSON does not parse: %s\n" e;
+        exit 1
+    end
+    else Diagnostics.Fidelity.to_text fid
+  in
+  match out with
+  | Some file ->
+    Cli_common.write_file file rendered;
+    Printf.printf "fidelity: %s\n" file
+  | None -> print_string rendered
+
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
 
 let out =
@@ -184,7 +230,8 @@ let out =
 
 let run_term =
   Term.(
-    const run_stat $ Cli_common.benchmark_term $ Cli_common.requests_term $ Cli_common.jobs_term
+    const run_stat $ Cli_common.benchmark_term $ Cli_common.requests_term
+    $ Cli_common.profile_source_term $ Cli_common.jobs_term
     $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out $ Cli_common.trace_term
     $ Cli_common.metrics_out_term $ Cli_common.self_profile_term
     $ Cli_common.self_profile_out_term)
@@ -247,10 +294,21 @@ let top_cmd =
       const run_top $ from_arg $ Cli_common.benchmark_term $ Cli_common.requests_term
       $ Cli_common.jobs_term $ limit_arg $ folded_arg)
 
+let fidelity_cmd =
+  Cmd.v
+    (Cmd.info "fidelity"
+       ~doc:
+         "Measure the LBR-vs-sampled profile fidelity gap on one benchmark: weight \
+          correlation, achieved fall-through rate, Ext-TSP score and final simulated \
+          cycles under each profile source.")
+    Term.(
+      const run_fidelity $ Cli_common.benchmark_term $ Cli_common.requests_term
+      $ Cli_common.jobs_term $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out)
+
 let cmd =
   Cmd.group ~default:run_term
     (Cmd.info "propeller_stat"
        ~doc:"Profile-quality diagnostics and bench regression comparison")
-    [ run_cmd; diff_cmd; top_cmd ]
+    [ run_cmd; diff_cmd; top_cmd; fidelity_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -51,12 +51,35 @@ let deploy t ~generation binary =
   t.image <- Exec.Image.build t.program binary;
   t.digest <- hex binary
 
-let serve ?ctx t ~lbr ~requests =
-  let profile = Perfmon.Lbr.create_profile () in
+let serve ?ctx ?(source = Perfmon.Source.Lbr)
+    ?(sampler = Perfmon.Sampler.default_config) t ~lbr ~requests =
+  let lbr_profile = Perfmon.Lbr.create_profile () in
+  let samples = Perfmon.Sampler.create_profile () in
+  (* Per-machine sampler stream: machines must not sample in lockstep
+     (they serve different request mixes), so salt the jitter seed. *)
+  let sampler =
+    { sampler with Perfmon.Sampler.seed = sampler.Perfmon.Sampler.seed + (7919 * t.id) }
+  in
   let core = Uarch.Core.create t.core_config in
-  let sink = Exec.Event.tee (Perfmon.Lbr.collector lbr profile) (Uarch.Core.sink core) in
+  let collector =
+    match source with
+    | Perfmon.Source.Lbr -> Perfmon.Lbr.collector lbr lbr_profile
+    | Perfmon.Source.Sampled -> Perfmon.Sampler.collector sampler samples
+  in
+  let sink = Exec.Event.tee collector (Uarch.Core.sink core) in
   let stats =
     Exec.Interp.run ?ctx t.image { Exec.Interp.default_config with requests } sink
+  in
+  (* A sampled machine synthesizes locally against the binary it ran
+     (the AutoFDO shape: perf.data -> profile conversion on the host,
+     LBR-shaped shards upstream), so the aggregation tier's
+     cross-generation re-encoding works unchanged. *)
+  let profile =
+    match source with
+    | Perfmon.Source.Lbr -> lbr_profile
+    | Perfmon.Source.Sampled ->
+      Propeller.Autofdo.synthesize ~period:sampler.Perfmon.Sampler.period ~samples
+        ~program:t.program ~binary:t.binary ()
   in
   let served = stats.Exec.Interp.requests_completed in
   let cycles = Uarch.Core.cycles core in

@@ -59,8 +59,21 @@ val series : t -> Obs.Timeseries.t
     promotion, or rollback). *)
 val deploy : t -> generation:int -> Linker.Binary.t -> unit
 
-(** [serve ?ctx t ~lbr ~requests] serves one round of traffic, records
-    the round into the machine's time-series, and returns the LBR
-    shard. Deterministic: all randomness lives in the interpreter's
-    stateless hashes. *)
-val serve : ?ctx:Support.Ctx.t -> t -> lbr:Perfmon.Lbr.config -> requests:int -> shard
+(** [serve ?ctx ?source ?sampler t ~lbr ~requests] serves one round of
+    traffic, records the round into the machine's time-series, and
+    returns the profile shard. Under [source = Lbr] (default) the shard
+    carries raw branch records; under [Sampled] the machine runs the
+    software stack sampler (jitter seed salted per machine) and
+    synthesizes the shard into LBR shape locally against its own
+    deployed binary — the AutoFDO flow — so aggregation re-encodes it
+    like any other shard. Sampled shards have an empty mispredict table
+    and report [mispredict_rate = 0]. Deterministic: all randomness
+    lives in the interpreter's and sampler's stateless hashes. *)
+val serve :
+  ?ctx:Support.Ctx.t ->
+  ?source:Perfmon.Source.t ->
+  ?sampler:Perfmon.Sampler.config ->
+  t ->
+  lbr:Perfmon.Lbr.config ->
+  requests:int ->
+  shard

@@ -11,6 +11,8 @@ type config = {
   threshold_pct : float;
   sabotage_cycle : int option;
   lbr : Perfmon.Lbr.config;
+  profile_source : Perfmon.Source.t;
+  sampler : Perfmon.Sampler.config;
   wpa : Propeller.Wpa.config;
   core : Uarch.Core.config;
 }
@@ -29,6 +31,8 @@ let default_config =
     threshold_pct = 5.0;
     sabotage_cycle = None;
     lbr = Perfmon.Lbr.default_config;
+    profile_source = Perfmon.Source.Lbr;
+    sampler = Perfmon.Sampler.default_config;
     wpa = Propeller.Wpa.default_config;
     core = Uarch.Core.default_config;
   }
@@ -178,9 +182,16 @@ let run ?(config = default_config) ~ctx ~program ~name () =
   let fleet_series =
     Obs.Timeseries.create ~window_s:1.0 ~capacity:256 ~decay:config.decay fleet_clock
   in
+  (* Synthesized (sampled) shards have no LBR ring multiplicity, so the
+     aggregation tier must not deflate their branch counts by ring
+     depth: depth 1 makes the re-encode pass-through. *)
   let agg =
-    Aggregate.create ~window:config.window ~decay:config.decay
-      ~lbr_depth:config.lbr.Perfmon.Lbr.buffer_depth ()
+    let lbr_depth =
+      match config.profile_source with
+      | Perfmon.Source.Lbr -> config.lbr.Perfmon.Lbr.buffer_depth
+      | Perfmon.Source.Sampled -> 1
+    in
+    Aggregate.create ~window:config.window ~decay:config.decay ~lbr_depth ()
   in
   Obs.Recorder.with_span rec_ "fleet:run" @@ fun () ->
   let gen0 = build_generation env ~name ~program None in
@@ -210,7 +221,10 @@ let run ?(config = default_config) ~ctx ~program ~name () =
         (fun m ->
           let id = Machine.id m in
           let requests = jittered config ~machine:id ~round:!round in
-          let sh = Machine.serve ~ctx m ~lbr:config.lbr ~requests in
+          let sh =
+            Machine.serve ~ctx ~source:config.profile_source ~sampler:config.sampler m
+              ~lbr:config.lbr ~requests
+          in
           Obs.Recorder.emit_span ~pid:(machine_pid id)
             ~args:
               [
@@ -261,7 +275,8 @@ let run ?(config = default_config) ~ctx ~program ~name () =
       else begin
         let wpa =
           Propeller.Wpa.analyze ~config:config.wpa ~ctx
-            ~layout_cache:env.Buildsys.Driver.layout_cache ~profile ~binary:!deployed ()
+            ~layout_cache:env.Buildsys.Driver.layout_cache ~profile:(Propeller.Wpa.Lbr profile)
+            ~binary:!deployed ()
         in
         (wpa.Propeller.Wpa.plans, wpa.Propeller.Wpa.ordering)
       end

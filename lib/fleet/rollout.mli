@@ -34,6 +34,12 @@ type config = {
           ordering reversed) at this cycle — the stale-profile drill
           that must be caught by the canary judge and rolled back. *)
   lbr : Perfmon.Lbr.config;
+  profile_source : Perfmon.Source.t;
+      (** Shard regime for every machine: hardware LBR (default) or the
+          software stack sampler with local AutoFDO synthesis. Sampled
+          runs aggregate at [lbr_depth = 1] — synthesized shards carry
+          no LBR ring multiplicity to deflate. *)
+  sampler : Perfmon.Sampler.config;  (** Used when [profile_source = Sampled]. *)
   wpa : Propeller.Wpa.config;
   core : Uarch.Core.config;
 }

@@ -103,9 +103,7 @@ let folded_frames p =
   String.concat ";" (p.pfunc :: List.map (fun b -> "b" ^ string_of_int b) p.blocks)
 
 let to_folded paths =
-  let buf = Buffer.create 1024 in
-  List.iter (fun p -> Printf.bprintf buf "%s %d\n" (folded_frames p) p.weight) paths;
-  Buffer.contents buf
+  Obs.Folded.to_string (List.map (fun p -> (folded_frames p, p.weight)) paths)
 
 let to_json paths =
   Obs.Json.Obj

@@ -1,0 +1,8 @@
+let add buf ~path ~weight = Buffer.add_string buf (Printf.sprintf "%s %d\n" path weight)
+
+let to_string rows =
+  let buf = Buffer.create 1024 in
+  List.iter (fun (path, weight) -> add buf ~path ~weight) rows;
+  Buffer.contents buf
+
+let micros seconds = int_of_float (Float.round (seconds *. 1e6))

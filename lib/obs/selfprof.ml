@@ -228,17 +228,16 @@ let hotspots ?limit t = hotspots_of_rows ?limit (rows t)
    `Alloc self words. Line *structure* is deterministic; `Host weights
    are not (strip trailing integers to compare runs). *)
 let folded ?(weight = `Host) t =
-  let buf = Buffer.create 1024 in
-  List.iter
-    (fun r ->
-      let w =
-        match weight with
-        | `Host -> int_of_float (Float.round (r.self_host_s *. 1e6))
-        | `Alloc -> int_of_float (Float.round r.self_alloc_words)
-      in
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" r.path w))
-    (rows t);
-  Buffer.contents buf
+  Folded.to_string
+    (List.map
+       (fun r ->
+         let w =
+           match weight with
+           | `Host -> Folded.micros r.self_host_s
+           | `Alloc -> int_of_float (Float.round r.self_alloc_words)
+         in
+         (r.path, w))
+       (rows t))
 
 (* --- JSON --------------------------------------------------------- *)
 

@@ -33,6 +33,16 @@ type t = {
   size_of : (string * int, int) Hashtbl.t;  (** (func, bb) -> bytes. *)
 }
 
+(** [interval_index binary] builds the address-sorted block array from
+    the binary's [.llvm_bb_addr_map], counts zeroed. Shared with profile
+    synthesis ({!Autofdo}), which needs the address->block mapping
+    without a full DCFG. *)
+val interval_index : Linker.Binary.t -> mblock array
+
+(** [find_in blocks addr] binary-searches an address-sorted block array
+    for the block containing [addr], returning its index and the block. *)
+val find_in : mblock array -> int -> (int * mblock) option
+
 (** [build ~profile ~binary] reconstructs the DCFG from the binary's
     [.llvm_bb_addr_map] (Propeller's path). Raises [Invalid_argument]
     when [binary] has no address map. *)

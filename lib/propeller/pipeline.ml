@@ -5,6 +5,8 @@ type config = {
   hugepages : bool;
   prefetch : bool;  (** Enable §3.5 software prefetch insertion. *)
   pebs : Perfmon.Pebs.config;
+  profile_source : Perfmon.Source.t;
+  sampler : Perfmon.Sampler.config;
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     hugepages = false;
     prefetch = false;
     pebs = Perfmon.Pebs.default_config;
+    profile_source = Perfmon.Source.Lbr;
+    sampler = Perfmon.Sampler.default_config;
   }
 
 type phase_times = {
@@ -26,7 +30,9 @@ type phase_times = {
 
 type result = {
   metadata_build : Buildsys.Driver.result;
+  source : Perfmon.Source.t;
   profile : Perfmon.Lbr.profile;
+  samples : Perfmon.Sampler.profile option;
   wpa : Wpa.result;
   prefetch : Prefetch.result option;
   optimized_build : Buildsys.Driver.result;
@@ -89,22 +95,48 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
       ];
     b
   in
-  (* Phase 3: profile the metadata binary under load. LBR drives the
-     layout; PEBS miss samples drive prefetch insertion when enabled. *)
-  let profile, pebs_profile =
+  (* Phase 3: profile the metadata binary under load. Under the Lbr
+     source the hardware branch records drive the layout directly; under
+     Sampled a software stack sampler observes the same run and its flat
+     profile is synthesized into LBR shape (Autofdo) before WPA. PEBS
+     miss samples drive prefetch insertion when enabled, either way. *)
+  let profile, samples, pebs_profile =
     Obs.Recorder.with_span rec_ "phase:profiling" @@ fun () ->
     let image = Exec.Image.build program metadata_build.binary in
-    let profile = Perfmon.Lbr.create_profile () in
+    let lbr_profile = Perfmon.Lbr.create_profile () in
+    let sampled = Perfmon.Sampler.create_profile () in
     let pebs_profile = Perfmon.Pebs.create_profile () in
     let collector =
-      let lbr = Perfmon.Lbr.collector config.lbr profile in
-      if config.prefetch then Exec.Event.tee lbr (Perfmon.Pebs.collector config.pebs pebs_profile)
-      else lbr
+      let base =
+        match config.profile_source with
+        | Perfmon.Source.Lbr -> Perfmon.Lbr.collector config.lbr lbr_profile
+        | Perfmon.Source.Sampled -> Perfmon.Sampler.collector config.sampler sampled
+      in
+      if config.prefetch then
+        Exec.Event.tee base (Perfmon.Pebs.collector config.pebs pebs_profile)
+      else base
     in
     let (_ : Exec.Interp.stats) =
       Exec.Interp.run ~ctx:env.Buildsys.Driver.ctx image config.profile_run collector
     in
     Obs.Recorder.advance rec_ profiling_window_seconds;
+    let profile, samples =
+      match config.profile_source with
+      | Perfmon.Source.Lbr -> (lbr_profile, None)
+      | Perfmon.Source.Sampled ->
+        Obs.Recorder.add_counter rec_ "pipeline.profile.sw_samples"
+          sampled.Perfmon.Sampler.num_samples;
+        Obs.Recorder.add_counter rec_ "pipeline.profile.sw_frames"
+          sampled.Perfmon.Sampler.num_frames;
+        ( Wpa.resolve_profile ~binary:metadata_build.binary
+            (Wpa.Sampled
+               {
+                 samples = sampled;
+                 program;
+                 period = config.sampler.Perfmon.Sampler.period;
+               }),
+          Some sampled )
+    in
     Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_samples"
       profile.Perfmon.Lbr.num_samples;
     Obs.Recorder.add_counter rec_ "pipeline.profile.lbr_records"
@@ -113,12 +145,13 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
       (float_of_int (Perfmon.Lbr.distinct_edges profile));
     Obs.Recorder.span_args rec_
       [
+        ("source", Obs.Trace.Str (Perfmon.Source.to_string config.profile_source));
         ("lbr_samples", Obs.Trace.Int profile.Perfmon.Lbr.num_samples);
         ("lbr_records", Obs.Trace.Int profile.Perfmon.Lbr.num_records);
         ("distinct_edges", Obs.Trace.Int (Perfmon.Lbr.distinct_edges profile));
         ("pebs_samples", Obs.Trace.Int pebs_profile.Perfmon.Pebs.num_samples);
       ];
-    (profile, pebs_profile)
+    (profile, samples, pebs_profile)
   in
   let wpa, prefetch =
     Obs.Recorder.with_span rec_ "phase:wpa" @@ fun () ->
@@ -126,7 +159,7 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
     let wpa_start = Obs.Recorder.now rec_ in
     let wpa =
       Wpa.analyze ~config:config.wpa ~ctx:env.Buildsys.Driver.ctx
-        ~layout_cache:env.Buildsys.Driver.layout_cache ~profile
+        ~layout_cache:env.Buildsys.Driver.layout_cache ~profile:(Wpa.Lbr profile)
         ~binary:metadata_build.binary ()
     in
     let prefetch =
@@ -196,7 +229,9 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
   in
   {
     metadata_build;
+    source = config.profile_source;
     profile;
+    samples;
     wpa;
     prefetch;
     optimized_build;

@@ -14,6 +14,11 @@ type config = {
   hugepages : bool;  (** Map text with 2M pages in production. *)
   prefetch : bool;  (** Also run §3.5 software prefetch insertion. *)
   pebs : Perfmon.Pebs.config;
+  profile_source : Perfmon.Source.t;
+      (** Where the layout profile comes from: hardware branch records
+          ([Lbr], the default) or portable software stack samples
+          ([Sampled], synthesized into LBR shape before WPA). *)
+  sampler : Perfmon.Sampler.config;  (** Used when [profile_source = Sampled]. *)
 }
 
 val default_config : config
@@ -27,7 +32,12 @@ type phase_times = {
 
 type result = {
   metadata_build : Buildsys.Driver.result;  (** The "PM" build. *)
+  source : Perfmon.Source.t;  (** Which regime produced [profile]. *)
   profile : Perfmon.Lbr.profile;
+      (** The LBR-shaped profile WPA consumed: raw records under [Lbr],
+          the Autofdo synthesis under [Sampled]. *)
+  samples : Perfmon.Sampler.profile option;
+      (** The raw software samples, when [source = Sampled]. *)
   wpa : Wpa.result;
   prefetch : Prefetch.result option;  (** §3.5 directives, if enabled. *)
   optimized_build : Buildsys.Driver.result;  (** The "PO" build. *)

@@ -17,6 +17,23 @@ let default_config =
     split_functions = true;
   }
 
+(* The two profile regimes WPA can be driven by. An Lbr profile feeds
+   Dcfg directly; a Sampled one is first synthesized into LBR shape
+   (Autofdo) against the binary under analysis, which needs the static
+   CFG topology and the sampler's period for count scaling. *)
+type profile_input =
+  | Lbr of Perfmon.Lbr.profile
+  | Sampled of {
+      samples : Perfmon.Sampler.profile;
+      program : Ir.Program.t;
+      period : int;
+    }
+
+let resolve_profile ~binary = function
+  | Lbr p -> p
+  | Sampled { samples; program; period } ->
+    Autofdo.synthesize ~period ~samples ~program ~binary ()
+
 type result = {
   plans : Codegen.Directive.t;
   ordering : string list;
@@ -167,6 +184,7 @@ let layout_key config (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
 
 let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
     ~(binary : Linker.Binary.t) () =
+  let profile = resolve_profile ~binary profile in
   let pool =
     match ctx with
     | Some c -> c.Support.Ctx.pool

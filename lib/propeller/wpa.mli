@@ -27,6 +27,26 @@ type config = {
 
 val default_config : config
 
+(** The profile regime driving the analysis. [Lbr] is the paper's path:
+    hardware branch records consumed by {!Dcfg} directly. [Sampled] is
+    the portable fallback: flat stack samples, synthesized into LBR
+    shape by {!Autofdo} against the binary under analysis — [program]
+    supplies the static CFG topology and [period] the sampler's mean
+    period for count scaling. *)
+type profile_input =
+  | Lbr of Perfmon.Lbr.profile
+  | Sampled of {
+      samples : Perfmon.Sampler.profile;
+      program : Ir.Program.t;
+      period : int;
+    }
+
+(** [resolve_profile ~binary input] is the LBR-shaped profile WPA will
+    actually consume: the identity for [Lbr], {!Autofdo.synthesize} for
+    [Sampled]. Exposed so callers can resolve once and reuse the result
+    (e.g. for diagnostics) without synthesizing twice. *)
+val resolve_profile : binary:Linker.Binary.t -> profile_input -> Perfmon.Lbr.profile
+
 type result = {
   plans : Codegen.Directive.t;  (** cc_prof: per-function clusters. *)
   ordering : string list;  (** ld_prof: global section symbol order. *)
@@ -89,7 +109,7 @@ val analyze :
   ?config:config ->
   ?ctx:Support.Ctx.t ->
   ?layout_cache:(Codegen.Directive.func_plan * float) Buildsys.Cache.t ->
-  profile:Perfmon.Lbr.profile ->
+  profile:profile_input ->
   binary:Linker.Binary.t ->
   unit ->
   result

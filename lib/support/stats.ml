@@ -45,6 +45,24 @@ let median = function
 
 let ratio_pct a b = if b = 0.0 then 0.0 else (a -. b) /. b *. 100.0
 
+let pearson pairs =
+  match pairs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length pairs) in
+    let xs = List.map fst pairs and ys = List.map snd pairs in
+    let mx = mean xs and my = mean ys in
+    let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    List.iter
+      (fun (x, y) ->
+        let dx = x -. mx and dy = y -. my in
+        cov := !cov +. (dx *. dy);
+        vx := !vx +. (dx *. dx);
+        vy := !vy +. (dy *. dy))
+      pairs;
+    let denom = sqrt (!vx /. n) *. sqrt (!vy /. n) in
+    if denom = 0.0 then 0.0 else !cov /. n /. denom
+
 let pp_bytes fmt n =
   let f = float_of_int n in
   if f >= 1.0e9 then Format.fprintf fmt "%.1f GB" (f /. 1.0e9)

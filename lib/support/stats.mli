@@ -30,6 +30,10 @@ val median : float list -> float
     relative to [b]. *)
 val ratio_pct : float -> float -> float
 
+(** Pearson correlation coefficient of paired samples, in [-1, 1].
+    0 for fewer than two pairs or when either side is constant. *)
+val pearson : (float * float) list -> float
+
 (** Human-readable byte counts, e.g. [72 MB], [413 MB], [1.7 GB]. *)
 val pp_bytes : Format.formatter -> int -> unit
 

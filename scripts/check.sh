@@ -136,6 +136,78 @@ dune exec bin/propeller_inspect.exe -- validate \
   exit 1
 }
 
+echo "== sampled profile-source smoke =="
+# The software-sampler regime (ISSUE 8): --profile-source sampled must
+# relink deterministically — byte-identical digest across reruns and
+# pool widths — and print the sampler stats line; a bogus source name
+# must be rejected with the valid set listed.
+for tag in a b j1; do
+  jobs=4; [ "$tag" = j1 ] && jobs=1
+  dune exec bin/propeller_driver.exe -- \
+    --benchmark 505.mcf --requests 40 --jobs "$jobs" \
+    --profile-source sampled >"$out_dir/sampled_$tag.log"
+done
+grep -q 'software sampler:' "$out_dir/sampled_a.log" || {
+  echo "FAIL: sampled driver printed no sampler stats line" >&2
+  cat "$out_dir/sampled_a.log" >&2
+  exit 1
+}
+grep -q 'source sampled' "$out_dir/sampled_a.log" || {
+  echo "FAIL: sampled driver did not report its profile source" >&2
+  exit 1
+}
+sa=$(grep '^image digest:' "$out_dir/sampled_a.log")
+sb=$(grep '^image digest:' "$out_dir/sampled_b.log")
+sj=$(grep '^image digest:' "$out_dir/sampled_j1.log")
+test -n "$sa" || { echo "FAIL: sampled driver printed no image digest" >&2; exit 1; }
+if [ "$sa" != "$sb" ] || [ "$sa" != "$sj" ]; then
+  echo "FAIL: sampled relink is not deterministic across reruns/pool widths" >&2
+  echo "  rerun a (jobs 4): $sa" >&2
+  echo "  rerun b (jobs 4): $sb" >&2
+  echo "  jobs 1:           $sj" >&2
+  exit 1
+fi
+# The sampled profile must steer the layout somewhere else than the LBR
+# profile does (the fidelity gap is nonzero by construction).
+lbrd=$(grep '^image digest:' "$out_dir/driver_j1.log")
+if [ "$sa" = "$lbrd" ]; then
+  echo "FAIL: sampled and LBR profiles produced the same image (gap lost?)" >&2
+  exit 1
+fi
+if dune exec bin/propeller_driver.exe -- \
+  --benchmark 505.mcf --requests 40 --profile-source pebs \
+  >"$out_dir/sampled_bad.log" 2>&1; then
+  echo "FAIL: bogus --profile-source value was accepted" >&2
+  exit 1
+fi
+grep -q 'lbr' "$out_dir/sampled_bad.log" || {
+  echo "FAIL: bad --profile-source error does not list valid sources" >&2
+  cat "$out_dir/sampled_bad.log" >&2
+  exit 1
+}
+
+echo "== fidelity report smoke =="
+# The LBR-vs-sampled gap experiment: JSON must re-parse with our own
+# Obs.Json parser (the tool validates and prints the verdict) and carry
+# both sides.
+dune exec bin/propeller_stat.exe -- fidelity -b 505.mcf -r 20 \
+  --json -o "$out_dir/fidelity.json" >"$out_dir/fidelity.log" || {
+  echo "FAIL: propeller_stat fidelity exited non-zero" >&2
+  cat "$out_dir/fidelity.log" >&2
+  exit 1
+}
+test -s "$out_dir/fidelity.json" || { echo "FAIL: empty fidelity.json" >&2; exit 1; }
+dune exec bin/propeller_inspect.exe -- validate "$out_dir/fidelity.json" || {
+  echo "FAIL: fidelity JSON rejected by propeller_inspect validate" >&2
+  exit 1
+}
+for key in '"lbr"' '"sampled"' '"weight_correlation"' '"cycle_gap_pct"'; do
+  grep -q "$key" "$out_dir/fidelity.json" || {
+    echo "FAIL: fidelity JSON missing $key" >&2
+    exit 1
+  }
+done
+
 echo "== fault injection smoke =="
 # Seeded fault plans replay byte-identically: the same --faults plan and
 # seed print the same image digest and the same resilience line on every
@@ -247,4 +319,4 @@ scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {
   exit 1
 }
 
-echo "OK: build + tests + trace smoke + fault smoke + fleet smoke + bench gate all green"
+echo "OK: build + tests + trace smoke + sampled smoke + fidelity smoke + fault smoke + fleet smoke + bench gate all green"

@@ -295,6 +295,67 @@ let test_compare_selfspeed_widened_tolerance () =
   let o = run_compare ~baseline:(with_selfspeed 10.0) ~current:(with_selfspeed 4.0) () in
   check tb "60% collapse gated" false (Diagnostics.Compare.ok o)
 
+(* --- Fidelity (ISSUE 8): LBR-vs-sampled gap report ----------------- *)
+
+let fidelity_fixture =
+  lazy
+    (let spec, program = medium_program () in
+     let run () =
+       Diagnostics.Fidelity.analyze ~requests:spec.requests
+         ~ctx:(Support.Ctx.create ()) ~program ~name:spec.name ()
+     in
+     (run (), run))
+
+let test_fidelity_bounds () =
+  let f, _ = Lazy.force fidelity_fixture in
+  check tb "correlation in [-1,1]" true
+    (f.Diagnostics.Fidelity.weight_correlation >= -1.0 && f.weight_correlation <= 1.0);
+  let rate_ok r = r >= 0.0 && r <= 1.0 in
+  check tb "base fall-through in [0,1]" true (rate_ok f.base_fall_through_rate);
+  check tb "lbr fall-through in [0,1]" true (rate_ok f.lbr.fall_through_rate);
+  check tb "sampled fall-through in [0,1]" true (rate_ok f.sampled.fall_through_rate);
+  check tb "cycles positive" true
+    (f.base_cycles > 0.0 && f.lbr.po_cycles > 0.0 && f.sampled.po_cycles > 0.0);
+  check tb "sides tagged correctly" true
+    (f.lbr.source = Perfmon.Source.Lbr && f.sampled.source = Perfmon.Source.Sampled);
+  check tb "profiles non-empty" true
+    (f.lbr.profile_records > 0 && f.sampled.profile_records > 0);
+  (* The gap fields are consistent with the sides they summarize. *)
+  check tf "fall-through gap"
+    (f.lbr.fall_through_rate -. f.sampled.fall_through_rate)
+    f.fall_through_gap;
+  check tf "cycle gap"
+    ((f.sampled.po_cycles -. f.lbr.po_cycles) /. f.lbr.po_cycles *. 100.0)
+    f.cycle_gap_pct
+
+let test_fidelity_json_roundtrip () =
+  let f, _ = Lazy.force fidelity_fixture in
+  let rendered = Obs.Json.to_string (Diagnostics.Fidelity.to_json f) in
+  match Obs.Json.parse rendered with
+  | Error e -> Alcotest.fail ("fidelity JSON does not re-parse: " ^ e)
+  | Ok v ->
+    let num path =
+      match Obs.Json.member path v with
+      | Some (Obs.Json.Float x) -> x
+      | Some (Obs.Json.Int x) -> float_of_int x
+      | _ -> Alcotest.fail ("missing numeric field " ^ path)
+    in
+    check (Alcotest.float 1e-4) "correlation round-trips"
+      f.Diagnostics.Fidelity.weight_correlation
+      (num "weight_correlation");
+    check tb "both sides present" true
+      (Obs.Json.member "lbr" v <> None && Obs.Json.member "sampled" v <> None);
+    check tb "text report mentions gap" true
+      (let t = Diagnostics.Fidelity.to_text f in
+       String.length t > 0)
+
+let test_fidelity_deterministic () =
+  let f1, run = Lazy.force fidelity_fixture in
+  let f2 = run () in
+  check ts "fidelity JSON identical across runs"
+    (Obs.Json.to_string (Diagnostics.Fidelity.to_json f1))
+    (Obs.Json.to_string (Diagnostics.Fidelity.to_json f2))
+
 let suite =
   [
     Alcotest.test_case "quality: exact coverage + mismatch" `Quick test_quality_exact;
@@ -308,6 +369,9 @@ let suite =
     Alcotest.test_case "compare: schema guard" `Quick test_compare_schema_guard;
     Alcotest.test_case "compare: gained key noted" `Quick test_compare_schema_gained_key_noted;
     Alcotest.test_case "compare: diff stdout parseable" `Quick test_diff_stdout_parseable;
+    Alcotest.test_case "fidelity: metric bounds" `Quick test_fidelity_bounds;
+    Alcotest.test_case "fidelity: JSON round-trip" `Quick test_fidelity_json_roundtrip;
+    Alcotest.test_case "fidelity: deterministic" `Quick test_fidelity_deterministic;
     Alcotest.test_case "compare: selfspeed tolerance" `Quick
       test_compare_selfspeed_widened_tolerance;
   ]

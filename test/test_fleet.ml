@@ -121,7 +121,7 @@ let mixed_shards () =
   in
   let shard0 = serve gen0.Buildsys.Driver.binary 0 in
   let wpa =
-    Propeller.Wpa.analyze ~ctx ~profile:shard0.Fleet.Machine.profile
+    Propeller.Wpa.analyze ~ctx ~profile:(Propeller.Wpa.Lbr shard0.Fleet.Machine.profile)
       ~binary:gen0.Buildsys.Driver.binary ()
   in
   let gen1 =
@@ -170,7 +170,7 @@ let test_permuted_aggregate_relinks_same_image () =
     let agg = make_aggregate gen0 gen1 in
     Fleet.Aggregate.push agg ~round:1 order;
     let profile, _ = Fleet.Aggregate.merged agg ~target in
-    let wpa = Propeller.Wpa.analyze ~ctx ~profile ~binary:gen1 () in
+    let wpa = Propeller.Wpa.analyze ~ctx ~profile:(Propeller.Wpa.Lbr profile) ~binary:gen1 () in
     let cg_meta, ld_meta = Propeller.Pipeline.metadata_options in
     let env = Buildsys.Driver.make_env ~ctx () in
     let built =

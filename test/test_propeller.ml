@@ -117,7 +117,7 @@ let test_wpa_interproc_plans_valid () =
   let wpa =
     Propeller.Wpa.analyze
       ~config:{ Propeller.Wpa.default_config with mode = Propeller.Wpa.Interproc }
-      ~profile:result.profile ~binary:result.metadata_build.binary ()
+      ~profile:(Propeller.Wpa.Lbr result.profile) ~binary:result.metadata_build.binary ()
   in
   check tb "produced plans" true (wpa.plans <> []);
   List.iter
@@ -140,7 +140,7 @@ let test_wpa_split_functions_off () =
   let wpa =
     Propeller.Wpa.analyze
       ~config:{ Propeller.Wpa.default_config with split_functions = false }
-      ~profile:result.profile ~binary:result.metadata_build.binary ()
+      ~profile:(Propeller.Wpa.Lbr result.profile) ~binary:result.metadata_build.binary ()
   in
   check tb "no cold symbols in ordering" true
     (not (List.exists Objfile.Symname.is_cold wpa.ordering))
@@ -252,7 +252,9 @@ let test_incremental_layout_cache () =
   let _, { Linker.Link.binary; _ } = metadata_link program in
   let _, profile = run_with_profile ~requests:40 program binary in
   let cache = Buildsys.Cache.create () in
-  let analyze () = Propeller.Wpa.analyze ~layout_cache:cache ~profile ~binary () in
+  let analyze () =
+    Propeller.Wpa.analyze ~layout_cache:cache ~profile:(Propeller.Wpa.Lbr profile) ~binary ()
+  in
   let cold = analyze () in
   check ti "cold run misses every hot function" cold.hot_funcs cold.layout_cache_misses;
   check ti "cold run has no hits" 0 cold.layout_cache_hits;
@@ -310,6 +312,107 @@ let test_incremental_layout_cache () =
        (Linker.Binary.image_digest incr_b.binary)
        (Linker.Binary.image_digest cold_b.binary))
 
+(* --- Sampled profile source (ISSUE 8) ----------------------------- *)
+
+(* One shared Sampled-source run on the same mid-sized program. *)
+let sampled_fixture =
+  lazy
+    (let spec, program = medium_program () in
+     let run () =
+       let env = Buildsys.Driver.make_env () in
+       Propeller.Pipeline.run
+         ~config:
+           {
+             Propeller.Pipeline.default_config with
+             profile_run = { Exec.Interp.default_config with requests = spec.requests };
+             profile_source = Perfmon.Source.Sampled;
+           }
+         ~env ~program ~name:"sampledprog" ()
+     in
+     (spec, program, run))
+
+let test_sampled_pipeline_shape () =
+  let _, _, run = Lazy.force sampled_fixture in
+  let r = run () in
+  check tb "source is Sampled" true (r.Propeller.Pipeline.source = Perfmon.Source.Sampled);
+  (match r.samples with
+  | Some s -> check tb "raw samples kept" true (s.Perfmon.Sampler.num_samples > 0)
+  | None -> Alcotest.fail "sampled run must expose raw samples");
+  check tb "synthesis produced records" true (r.profile.Perfmon.Lbr.num_records > 0);
+  (* The synthesized profile carries no branch-direction fidelity bits. *)
+  check ti "no mispredict table" 0 (Hashtbl.length r.profile.Perfmon.Lbr.mispredicts);
+  Hashtbl.iter
+    (fun _ w -> check tb "branch weight positive" true (w > 0))
+    r.profile.Perfmon.Lbr.branches;
+  Hashtbl.iter
+    (fun _ w -> check tb "range weight positive" true (w > 0))
+    r.profile.Perfmon.Lbr.ranges
+
+let test_sampled_pipeline_deterministic () =
+  let _, _, run = Lazy.force sampled_fixture in
+  let d1 = Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary (run ())) in
+  let d2 = Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary (run ())) in
+  check tb "sampled relink byte-identical across runs" true (Support.Digesting.equal d1 d2)
+
+let test_sampled_jobs_invariance () =
+  let spec, program, _ = Lazy.force sampled_fixture in
+  let run jobs =
+    Support.Pool.with_pool ~jobs (fun pool ->
+        let env =
+          Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~pool ()) ()
+        in
+        let r =
+          Propeller.Pipeline.run
+            ~config:
+              {
+                Propeller.Pipeline.default_config with
+                profile_run = { Exec.Interp.default_config with requests = spec.requests };
+                profile_source = Perfmon.Source.Sampled;
+              }
+            ~env ~program ~name:"sampledprog" ()
+        in
+        Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary r))
+  in
+  check tb "sampled digest identical for jobs 1/4" true
+    (Support.Digesting.equal (run 1) (run 4))
+
+let test_autofdo_synthesis_sane () =
+  let _, program, run = Lazy.force sampled_fixture in
+  let r = run () in
+  let binary = r.Propeller.Pipeline.metadata_build.Buildsys.Driver.binary in
+  let samples = Option.get r.samples in
+  let p = Propeller.Autofdo.synthesize ~samples ~program ~binary () in
+  (* num_records equals the total emitted weight mass. *)
+  let mass =
+    Hashtbl.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.branches 0
+    + Hashtbl.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.ranges 0
+  in
+  check ti "num_records = emitted mass" mass p.Perfmon.Lbr.num_records;
+  check ti "num_samples preserved" samples.Perfmon.Sampler.num_samples
+    p.Perfmon.Lbr.num_samples;
+  (* The synthesized branches must be consumable by Dcfg: call arcs land
+     on function entries and are classified as calls. *)
+  let dcfg = Propeller.Dcfg.build ~profile:p ~binary in
+  check tb "synthesized call arcs classified" true
+    (Hashtbl.length dcfg.Propeller.Dcfg.call_arcs > 0);
+  Hashtbl.iter
+    (fun _ (f : Propeller.Dcfg.dfunc) ->
+      Hashtbl.iter
+        (fun _ w -> check tb "dcfg edge weight positive" true (!w > 0))
+        f.Propeller.Dcfg.dedges)
+    dcfg.Propeller.Dcfg.funcs
+
+let test_autofdo_requires_metadata () =
+  let _, program, run = Lazy.force sampled_fixture in
+  let r = run () in
+  let samples = Option.get r.Propeller.Pipeline.samples in
+  let env = Buildsys.Driver.make_env () in
+  let base = Propeller.Pipeline.baseline_build ~env ~program ~name:"sampled.base" in
+  Alcotest.check_raises "synthesize rejects map-less binary"
+    (Invalid_argument "Autofdo.synthesize: binary has no .llvm_bb_addr_map")
+    (fun () ->
+      ignore (Propeller.Autofdo.synthesize ~samples ~program ~binary:base.binary ()))
+
 let test_wpa_resource_model () =
   let _, _, _, result = Lazy.force (fixture) in
   check tb "peak mem positive" true (result.wpa.peak_mem_bytes > 0);
@@ -322,13 +425,13 @@ let test_wpa_shard_drop_accounting () =
   let _, program = medium_program () in
   let _, { Linker.Link.binary; _ } = metadata_link program in
   let _, profile = run_with_profile ~requests:100 program binary in
-  let clean = Propeller.Wpa.analyze ~profile ~binary () in
+  let clean = Propeller.Wpa.analyze ~profile:(Propeller.Wpa.Lbr profile) ~binary () in
   check ti "no plan, nothing dropped" 0 clean.shards_dropped;
   check ti "no plan, no lost funcs" 0 clean.dropped_hot_funcs;
   (* Lose profile shards at rate 0.5 over 8 shards. *)
   let plan = { Faultsim.Plan.default with shard_drop = 0.5; shards = 8 } in
   let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) ~faults:plan () in
-  let faulted = Propeller.Wpa.analyze ~ctx ~profile ~binary () in
+  let faulted = Propeller.Wpa.analyze ~ctx ~profile:(Propeller.Wpa.Lbr profile) ~binary () in
   check ti "dropped shards reported"
     (List.length (Faultsim.Plan.dropped_shards plan))
     faulted.shards_dropped;
@@ -345,7 +448,7 @@ let test_wpa_shard_drop_accounting () =
         (Faultsim.Plan.shard_dropped plan ~shard:(Faultsim.Plan.shard_of plan ~key:p.func)))
     faulted.plans;
   (* Same plan, same drops: the degradation replays deterministically. *)
-  let again = Propeller.Wpa.analyze ~ctx ~profile ~binary () in
+  let again = Propeller.Wpa.analyze ~ctx ~profile:(Propeller.Wpa.Lbr profile) ~binary () in
   check ti "replayed drops identical" faulted.shards_dropped again.shards_dropped;
   check ti "replayed losses identical" faulted.dropped_hot_funcs again.dropped_hot_funcs;
   check tb "replayed ordering identical" true (faulted.ordering = again.ordering)
@@ -370,4 +473,9 @@ let suite =
     Alcotest.test_case "wpa: resource model" `Quick test_wpa_resource_model;
     Alcotest.test_case "pipeline: multi-round" `Slow test_run_rounds;
     Alcotest.test_case "wpa: shard-drop accounting" `Quick test_wpa_shard_drop_accounting;
+    Alcotest.test_case "sampled: pipeline shape" `Quick test_sampled_pipeline_shape;
+    Alcotest.test_case "sampled: deterministic relink" `Quick test_sampled_pipeline_deterministic;
+    Alcotest.test_case "sampled: jobs invariance" `Quick test_sampled_jobs_invariance;
+    Alcotest.test_case "autofdo: synthesis sane" `Quick test_autofdo_synthesis_sane;
+    Alcotest.test_case "autofdo: requires metadata" `Quick test_autofdo_requires_metadata;
   ]

@@ -278,6 +278,41 @@ let selfprof_invariance_law =
       && String.equal m_off m_on
       && String.equal f_off f_on)
 
+(* The sampled-profile robustness contract (ISSUE 8): whatever the
+   sampling period, jitter, or seed, the Sampled pipeline never crashes,
+   and every synthesized weight is a positive in-range count — even when
+   the period is so long that whole functions draw zero samples. *)
+let sampler_period_law =
+  QCheck.Test.make ~count:6
+    ~name:"sampled pipeline total for any period/jitter/seed; weights in range"
+    QCheck.(pair program_arb (triple (int_range 1 400) (int_range 0 90) (int_range 0 1000)))
+    (fun (input, (period, jitter_pct, seed)) ->
+      let program = make_program input in
+      let recorder = Obs.Recorder.create () in
+      let env =
+        Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~recorder ()) ()
+      in
+      let r =
+        Propeller.Pipeline.run
+          ~config:
+            {
+              Propeller.Pipeline.default_config with
+              profile_run = { Exec.Interp.default_config with requests = 10 };
+              profile_source = Perfmon.Source.Sampled;
+              sampler = { Perfmon.Sampler.default_config with period; jitter_pct; seed };
+            }
+          ~env ~program ~name:"sampled" ()
+      in
+      let ok = ref (r.profile.Perfmon.Lbr.num_records >= 0) in
+      let bound = 1_000_000_000 in
+      Hashtbl.iter
+        (fun _ w -> if w < 1 || w > bound then ok := false)
+        r.profile.Perfmon.Lbr.branches;
+      Hashtbl.iter
+        (fun _ w -> if w < 1 || w > bound then ok := false)
+        r.profile.Perfmon.Lbr.ranges;
+      !ok)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest relayout_invariance_law;
@@ -288,4 +323,5 @@ let suite =
     QCheck_alcotest.to_alcotest jobs_invariance_law;
     QCheck_alcotest.to_alcotest fault_tolerance_law;
     QCheck_alcotest.to_alcotest selfprof_invariance_law;
+    QCheck_alcotest.to_alcotest sampler_period_law;
   ]
