@@ -27,8 +27,13 @@
    profile-source gap (ISSUE 8): both pipelines over the same workload,
    per-function weight correlation, achieved fall-through rate, Ext-TSP
    score and simulated cycles per source. Fully deterministic.
-   Informational only: Compare's judged allowlist ignores it. *)
-let schema_version = 7
+   Informational only: Compare's judged allowlist ignores it.
+   v8: top-level "micro" object — self-timed ns/call of the flat-data
+   fast-path kernels (packed-key LBR bump, flat Ext-TSP scoring, batch
+   address resolution), so a selfspeed move is attributable to the
+   kernel that caused it. Wall-clock, so NOT byte-stable; informational
+   only: Compare's judged allowlist ignores it. *)
+let schema_version = 8
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -381,6 +386,7 @@ let emit ?(jobs_sweep = []) ~file ~specs ~requests () =
               ("jobs_sweep", Obs.Json.List (List.map (fun j -> Obs.Json.Int j) jobs_sweep));
             ] );
         ("benchmarks", Obs.Json.List (List.map (fun (j, _, _) -> j) rows));
+        ("micro", Micro.json ());
         ( "summary",
           Obs.Json.Obj
             [

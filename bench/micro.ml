@@ -86,6 +86,85 @@ let exec_test =
               { Exec.Interp.default_config with requests = 50 }
               Exec.Event.null)))
 
+(* The flat-data fast-path kernels (ISSUE 9). Each gets a bechamel
+   entry below AND a lightweight self-timed measurement ([json]) that
+   rides along in the bench JSON, so a selfspeed regression can be
+   attributed to the kernel that caused it. *)
+
+(* 4k synthetic branch pairs, then a second pass over the same pairs:
+   half the bumps insert, half hit — the collector's steady-state mix. *)
+let lbr_pairs =
+  let rng = Support.Rng.create 11L in
+  Array.init 4096 (fun _ ->
+      (0x1000 + Support.Rng.int rng 0xfffff, 0x1000 + Support.Rng.int rng 0xfffff))
+
+let lbr_bump_kernel () =
+  let tab = Support.Itab.create 64 in
+  for _ = 1 to 2 do
+    Array.iter (fun (src, dst) -> Perfmon.Lbr.add_pair tab ~src ~dst 1) lbr_pairs
+  done
+
+let score_fixture =
+  let sizes, _, edges = synth_graph 1000 in
+  (sizes, edges, List.init 1000 Fun.id)
+
+let exttsp_score_kernel () =
+  let sizes, edges, order = score_fixture in
+  ignore (Layout.Exttsp.score ~sizes ~edges ~order () : float)
+
+(* 8k uniformly random text-segment addresses against the mcf image —
+   every resolution class (code, padding) gets exercised. *)
+let resolve_fixture =
+  lazy
+    (let _, _, binary, _, _ = Lazy.force mcf_artifacts in
+     let resolver = Inspect.Resolve.create binary in
+     let rng = Support.Rng.create 23L in
+     let lo = binary.Linker.Binary.text_start and hi = binary.Linker.Binary.text_end in
+     let addrs = Array.init 8192 (fun _ -> lo + Support.Rng.int rng (hi - lo)) in
+     (resolver, addrs))
+
+let resolve_batch_kernel () =
+  let resolver, addrs = Lazy.force resolve_fixture in
+  ignore (Inspect.Resolve.resolve_batch resolver addrs : int array)
+
+let fastpath_kernels =
+  [
+    ("lbr_bump_packed_8k", lbr_bump_kernel);
+    ("exttsp_score_flat_1000", exttsp_score_kernel);
+    ("resolve_batch_mcf_8k", resolve_batch_kernel);
+  ]
+
+(* Median-of-3 batch averages on the wall clock: coarser than
+   bechamel's OLS, but dependency-light and fast enough to run inside
+   every bench-JSON emission. Wall-clock, so NOT byte-stable. *)
+let time_ns_per_call ?(batch = 30) f =
+  f ();
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+  in
+  match List.sort compare [ sample (); sample (); sample () ] with
+  | [ _; median; _ ] -> median
+  | _ -> assert false
+
+let json () =
+  Obs.Json.Obj
+    [
+      ( "kernels",
+        Obs.Json.List
+          (List.map
+             (fun (name, f) ->
+               Obs.Json.Obj
+                 [
+                   ("name", Obs.Json.String name);
+                   ("ns_per_call", Obs.Json.Float (time_ns_per_call f));
+                 ])
+             fastpath_kernels) );
+    ]
+
 let pqueue_test =
   Test.make ~name:"pqueue_10k_ops"
     (Staged.stage (fun () ->
@@ -109,6 +188,9 @@ let tests () =
     dcfg_test;
     wpa_test;
     exec_test;
+    Test.make ~name:"lbr_bump_packed_8k" (Staged.stage lbr_bump_kernel);
+    Test.make ~name:"exttsp_score_flat_1000" (Staged.stage exttsp_score_kernel);
+    Test.make ~name:"resolve_batch_mcf_8k" (Staged.stage resolve_batch_kernel);
   ]
 
 let run () =

@@ -101,8 +101,8 @@ let measure wb variant =
     let image = Exec.Image.build wb.program (binary wb variant) in
     let core = Uarch.Core.create (core_config wb.spec) in
     let stats =
-      Exec.Interp.run ~ctx:wb.env.Buildsys.Driver.ctx image (interp_config wb.spec)
-        (Uarch.Core.sink core)
+      Exec.Interp.run_tape ~ctx:wb.env.Buildsys.Driver.ctx image (interp_config wb.spec)
+        ~drain:(Uarch.Core.consume core)
     in
     let m = { stats; counters = Uarch.Core.counters core } in
     wb.measured <- (key, m) :: wb.measured;

@@ -23,10 +23,11 @@ let run benchmark requests lite =
       (Linker.Binary.total_size bm.binary);
     let image = Exec.Image.build program bm.binary in
     let profile = Perfmon.Lbr.create_profile () in
+    let c = Perfmon.Lbr.collector_state Perfmon.Lbr.default_config profile in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run image
+      Exec.Interp.run_tape image
         { Exec.Interp.default_config with requests = spec.requests }
-        (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+        ~drain:(Perfmon.Lbr.consume c)
     in
     let is_asm f =
       match Ir.Program.find_func program f with

@@ -78,9 +78,9 @@ let run benchmark requests profile_source interproc no_split hugepages prefetch 
       Uarch.Core.create { Uarch.Core.default_config with hugepages = config.hugepages }
     in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run ~ctx image
+      Exec.Interp.run_tape ~ctx image
         { Exec.Interp.default_config with requests = spec.requests }
-        (Uarch.Core.sink core)
+        ~drain:(Uarch.Core.consume core)
     in
     Uarch.Core.publish ~ctx ~name:run_name core;
     Uarch.Core.counters core

@@ -69,8 +69,9 @@ let profile_of ctx binary =
   match ctx.source with
   | Perfmon.Source.Lbr ->
     let profile = Perfmon.Lbr.create_profile () in
+    let c = Perfmon.Lbr.collector_state Perfmon.Lbr.default_config profile in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run image run_config (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+      Exec.Interp.run_tape image run_config ~drain:(Perfmon.Lbr.consume c)
     in
     profile
   | Perfmon.Source.Sampled ->

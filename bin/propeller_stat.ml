@@ -25,9 +25,9 @@ let measure ~(spec : Progen.Spec.t) ~ctx ~run_name program binary =
       }
   in
   let (_ : Exec.Interp.stats) =
-    Exec.Interp.run ~ctx image
+    Exec.Interp.run_tape ~ctx image
       { Exec.Interp.default_config with requests = spec.requests }
-      (Uarch.Core.sink core)
+      ~drain:(Uarch.Core.consume core)
   in
   Uarch.Core.publish ~ctx ~name:run_name core;
   Uarch.Core.counters core

@@ -26,10 +26,11 @@ let run benchmark requests cc_out ld_out =
       (Linker.Binary.size_of_kind pm.binary Objfile.Section.Bb_addr_map);
     let image = Exec.Image.build program pm.binary in
     let profile = Perfmon.Lbr.create_profile () in
+    let c = Perfmon.Lbr.collector_state Perfmon.Lbr.default_config profile in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run image
+      Exec.Interp.run_tape image
         { Exec.Interp.default_config with requests = spec.requests }
-        (Perfmon.Lbr.collector Perfmon.Lbr.default_config profile)
+        ~drain:(Perfmon.Lbr.consume c)
     in
     Printf.printf "profile: %d samples, %d records, ~%d raw bytes\n%!" profile.num_samples
       profile.num_records

@@ -114,7 +114,7 @@ let unit_action_key (u : Ir.Cunit.t) (options : Codegen.options) =
    time and re-checked by verified reads. Only has to be deterministic
    and sensitive to the object's shape — the rot we detect is a flipped
    *stored* digest (Cache.corrupt), not adversarial tampering. *)
-let obj_digest (o : Objfile.File.t) =
+let obj_digest_uncached (o : Objfile.File.t) =
   Support.Digesting.of_string
     (String.concat "|"
        (o.name :: o.unit_name
@@ -127,6 +127,31 @@ let obj_digest (o : Objfile.File.t) =
                 (Option.value s.symbol ~default:"")
                 (Objfile.Section.size s))
             o.sections))
+
+(* Objects are immutable once built, so their digest is a pure function
+   of physical identity — memoized, the verified read of every warm
+   cache hit skips the string rebuild. Keyed by physical equality
+   (structural hash, [==] compare): a recompiled object is a new key and
+   re-digests, and [Cache.corrupt] flips the *stored* digest, so rot
+   detection still compares against a freshly correct value. Sequential
+   passes only (cache pass / commit pass), hence no lock. *)
+module PhysObjTbl = Hashtbl.Make (struct
+  type t = Objfile.File.t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+let obj_digests : Support.Digesting.t PhysObjTbl.t = PhysObjTbl.create 256
+
+let obj_digest (o : Objfile.File.t) =
+  match PhysObjTbl.find_opt obj_digests o with
+  | Some d -> d
+  | None ->
+    let d = obj_digest_uncached o in
+    PhysObjTbl.add obj_digests o d;
+    d
 
 (* Per-unit outcome of the sequential cache pass. [Dup] marks a unit
    whose key is already being compiled for an earlier unit this build:

@@ -29,9 +29,9 @@ let measure ~ctx ~core ~requests ~program binary =
   let image = Exec.Image.build program binary in
   let c = Uarch.Core.create core in
   let stats =
-    Exec.Interp.run ~ctx image
+    Exec.Interp.run_tape ~ctx image
       { Exec.Interp.default_config with requests }
-      (Uarch.Core.sink c)
+      ~drain:(Uarch.Core.consume c)
   in
   let sites = stats.Exec.Interp.cond_branches + stats.Exec.Interp.uncond_jumps in
   let ftr =

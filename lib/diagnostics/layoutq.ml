@@ -44,15 +44,16 @@ let score_func params (final : Linker.Binary.t) (d : Propeller.Dcfg.dfunc) =
     let edges = ref [] in
     let edge_weight = ref 0 in
     let fall_through = ref 0 in
-    Hashtbl.iter
-      (fun (src_bb, dst_bb) cnt ->
+    Support.Itab.iter
+      (fun key cnt ->
+        let src_bb = Support.Packed.src key and dst_bb = Support.Packed.dst key in
         if src_bb <> dst_bb then
           match (Hashtbl.find_opt index src_bb, Hashtbl.find_opt index dst_bb) with
           | Some s, Some dst ->
-            edges := (s, dst, float_of_int !cnt) :: !edges;
-            edge_weight := !edge_weight + !cnt;
+            edges := (s, dst, float_of_int cnt) :: !edges;
+            edge_weight := !edge_weight + cnt;
             if addr_of.(dst) = addr_of.(s) + sizes.(s) then
-              fall_through := !fall_through + !cnt
+              fall_through := !fall_through + cnt
           | None, _ | _, None -> ())
       d.dedges;
     (* Deterministic scoring input: dedges iteration order is arbitrary. *)

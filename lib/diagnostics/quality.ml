@@ -59,8 +59,8 @@ let analyze ?pebs ~(dcfg : Propeller.Dcfg.t) ~(profile : Perfmon.Lbr.profile) ()
      (matching Dcfg's attribution). *)
   let mismatch_records = ref 0 in
   let total_branch = ref 0 in
-  Hashtbl.iter
-    (fun (src, dst) n ->
+  Perfmon.Lbr.iter_pairs
+    (fun ~src ~dst n ->
       total_branch := !total_branch + n;
       let maps addr = Propeller.Dcfg.find_block dcfg addr <> None in
       if not (maps (src - 1) && maps dst) then mismatch_records := !mismatch_records + n)

@@ -31,3 +31,48 @@ val null : sink
 
 (** [tee a b] duplicates events to both sinks. *)
 val tee : sink -> sink -> sink
+
+(** {1 Flat event tape}
+
+    The zero-allocation transport between the engine and its hottest
+    consumers. Events are encoded as one tag byte plus three int
+    operands in preallocated parallel arrays; the engine flushes the
+    tape to a drain function when it fills and at end of run. Consumers
+    either walk the arrays directly in a monomorphic loop
+    ([Uarch.Core.consume], [Perfmon.Lbr.consume]) or adapt the tape
+    back onto a closure {!sink} with {!replay} — both observe the
+    identical event stream in emission order. *)
+
+type tape = {
+  tags : Bytes.t;  (** Per-event tag: {!tag_fetch} … {!tag_request}. *)
+  a : int array;  (** fetch: addr; branch: src; dmiss: src; request: index. *)
+  b : int array;  (** fetch: len; branch: dst. *)
+  c : int array;  (** fetch: insts; branch: [(kind lsl 1) lor taken]. *)
+  mutable len : int;  (** Events currently on the tape. *)
+}
+
+val tape_capacity : int
+(** Fixed capacity of every tape (events between flushes). *)
+
+val create_tape : unit -> tape
+
+val tag_fetch : char
+
+val tag_branch : char
+
+val tag_dmiss : char
+
+val tag_request : char
+
+val kind_to_int : branch_kind -> int
+(** Dense 0-4 code of a branch kind (stable across runs). *)
+
+val kind_of_int : int -> branch_kind
+(** Inverse of {!kind_to_int}; raises [Invalid_argument] otherwise. *)
+
+val encode_branch_meta : kind:branch_kind -> taken:bool -> int
+(** The [c] operand of a branch event. *)
+
+val replay : tape -> sink -> unit
+(** [replay tape sink] redelivers every taped event to [sink] in
+    emission order. *)

@@ -1,27 +1,85 @@
 type op =
   | Run of int * int * int
-  | Do_call of { site_end : int; callees : (string * float) array }
+  | Do_call of { site_end : int; callee_idx : int array; callee_cum : float array }
   | Do_dload of { site_end : int; miss_prob : float; covered : bool }
 
-type xblock = { addr : int; size : int; ops : op list; term : Ir.Term.t; uid : int }
+type xblock = {
+  addr : int;
+  size : int;
+  ops : op array;
+  term : Ir.Term.t;
+  term_cum : float array;
+      (** For [Switch] terminators: left-to-right partial sums of the case
+          probabilities, precomputed so the interpreter's weighted pick is
+          pure comparisons (a runtime float accumulator costs a box per
+          add on the classic compiler). [[||]] for every other term. *)
+  uid : int;
+  mutable succ0 : xblock;
+      (** Jump target / Branch taken successor (see the .mli); patched
+          by [build] once every block exists. *)
+  mutable succ1 : xblock;  (** Branch fallthrough successor. *)
+  mutable succ_tab : xblock array;  (** Switch successors, table order. *)
+}
+
+(* Placeholder successor for blocks whose terminator has none (Return)
+   and for records mid-construction; never followed by the interpreter. *)
+let rec dummy_xblock =
+  {
+    addr = 0;
+    size = 0;
+    ops = [||];
+    term = Ir.Term.Return;
+    term_cum = [||];
+    uid = 0;
+    succ0 = dummy_xblock;
+    succ1 = dummy_xblock;
+    succ_tab = [||];
+  }
+
+(* Left-to-right running sums, starting from 0.0 — the identical float
+   operation sequence the interpreter's old per-execution accumulation
+   performed, so every stateless draw still lands on the same side of
+   every partial sum. *)
+let cumulative w =
+  let n = Array.length w in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. w.(i);
+    cum.(i) <- !acc
+  done;
+  cum
 
 type t = {
   funcs : (string, int) Hashtbl.t;
   blocks : xblock array array;  (** [blocks.(func_idx).(block_id)] *)
   entry : int;
+  nblocks : int;
 }
 
 (* Fuse the lowered instructions (with final sizes) and the IR body:
    non-control bytes accumulate into Run segments; calls close the
    current segment. The k-th call instruction corresponds to the k-th
-   call site of the IR body, which supplies virtual-call targets. *)
-let compile_ops (ir_block : Ir.Block.t) (insts : Isa.t list) =
+   call site of the IR body, which supplies virtual-call targets.
+   Callee names are resolved to dense function indices here, at build
+   time, so the interpreter never touches a string. *)
+let compile_ops ~resolve (ir_block : Ir.Block.t) (insts : Isa.t list) =
+  let split_callees (callees : (string * float) array) =
+    let n = Array.length callees in
+    let idx = Array.make n 0 and w = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let name, wi = callees.(i) in
+      idx.(i) <- resolve name;
+      w.(i) <- wi
+    done;
+    (idx, cumulative w)
+  in
   let ir_calls =
     List.filter_map
       (fun (i : Ir.Inst.t) ->
         match i with
-        | Ir.Inst.DirectCall f -> Some [| (f, 1.0) |]
-        | Ir.Inst.VirtualCall { callees } -> Some callees
+        | Ir.Inst.DirectCall f -> Some (split_callees [| (f, 1.0) |])
+        | Ir.Inst.VirtualCall { callees } -> Some (split_callees callees)
         | Ir.Inst.Compute _ | Ir.Inst.MemLoad _ | Ir.Inst.DelinquentLoad _
         | Ir.Inst.MemStore _ | Ir.Inst.JumpTableData _ -> None)
       ir_block.body
@@ -69,9 +127,9 @@ let compile_ops (ir_block : Ir.Block.t) (insts : Isa.t list) =
           if off > run_start then Run (run_start, off - run_start, nrun + 1) :: acc else acc
         in
         match pending_calls with
-        | callees :: pending ->
+        | (callee_idx, callee_cum) :: pending ->
           loop (off + size) (off + size) 0 pending pending_loads ~saw_prefetch
-            (Do_call { site_end = off + size; callees } :: acc)
+            (Do_call { site_end = off + size; callee_idx; callee_cum } :: acc)
             rest
         | [] ->
           (* A lowered call with no IR counterpart cannot happen by
@@ -90,19 +148,29 @@ let compile_ops (ir_block : Ir.Block.t) (insts : Isa.t list) =
       | Isa.Alu _ | Isa.Store _ | Isa.Nop _ ->
         loop (off + size) run_start (nrun + 1) pending_calls pending_loads ~saw_prefetch acc rest)
   in
-  loop 0 0 0 ir_calls ir_loads ~saw_prefetch:false [] insts
+  Array.of_list (loop 0 0 0 ir_calls ir_loads ~saw_prefetch:false [] insts)
 
 let build program binary =
   let nf = Ir.Program.num_funcs program in
   let funcs = Hashtbl.create nf in
-  let blocks = Array.make nf [||] in
-  let uid = ref 0 in
+  (* First pass: assign every function its dense index, so call sites
+     can resolve forward references during block compilation. *)
   let idx = ref 0 in
   Ir.Program.iter_funcs program (fun f ->
-      let fi = !idx in
-      incr idx;
-      Hashtbl.replace funcs f.name fi;
-      blocks.(fi) <-
+      Hashtbl.replace funcs f.name !idx;
+      incr idx);
+  let resolve name =
+    match Hashtbl.find_opt funcs name with
+    | Some i -> i
+    | None -> invalid_arg ("Image.build: call to unknown function " ^ name)
+  in
+  let blocks = Array.make nf [||] in
+  let uid = ref 0 in
+  let fi = ref 0 in
+  Ir.Program.iter_funcs program (fun f ->
+      let me = !fi in
+      incr fi;
+      blocks.(me) <-
         Array.init (Ir.Func.num_blocks f) (fun b ->
             let info =
               match Linker.Binary.block_info binary ~func:f.name ~block:b with
@@ -116,21 +184,49 @@ let build program binary =
             {
               addr = info.addr;
               size = info.size;
-              ops = compile_ops ir_block info.insts;
+              ops = compile_ops ~resolve ir_block info.insts;
               term = ir_block.term;
+              term_cum =
+                (match ir_block.term with
+                | Ir.Term.Switch { probs; _ } -> cumulative probs
+                | Ir.Term.Jump _ | Ir.Term.Branch _ | Ir.Term.Return -> [||]);
               uid = !uid;
+              succ0 = dummy_xblock;
+              succ1 = dummy_xblock;
+              succ_tab = [||];
             }));
-  { funcs; blocks; entry = Hashtbl.find funcs (Ir.Program.main program) }
+  (* Second pass: resolve terminator targets (intra-function block ids)
+     to direct xblock references, so the interpreter never re-indexes
+     the block table on a transition. *)
+  Array.iter
+    (fun fb ->
+      Array.iter
+        (fun xb ->
+          match xb.term with
+          | Ir.Term.Jump next -> xb.succ0 <- fb.(next)
+          | Ir.Term.Branch { taken; fallthrough; _ } ->
+            xb.succ0 <- fb.(taken);
+            xb.succ1 <- fb.(fallthrough)
+          | Ir.Term.Switch { table; _ } -> xb.succ_tab <- Array.map (fun b -> fb.(b)) table
+          | Ir.Term.Return -> ())
+        fb)
+    blocks;
+  {
+    funcs;
+    blocks;
+    entry = Hashtbl.find funcs (Ir.Program.main program);
+    nblocks = Array.fold_left (fun acc a -> acc + Array.length a) 0 blocks;
+  }
 
 let func_index t name =
   match Hashtbl.find_opt t.funcs name with
   | Some i -> i
   | None -> invalid_arg ("Image.func_index: unknown function " ^ name)
 
-let block t ~func_idx ~block = t.blocks.(func_idx).(block)
+let[@inline] block t ~func_idx ~block = t.blocks.(func_idx).(block)
 
 let entry_func t = t.entry
 
 let num_funcs t = Array.length t.blocks
 
-let num_blocks t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.blocks
+let num_blocks t = t.nblocks

@@ -12,9 +12,13 @@ type op =
   | Run of int * int * int
       (** [(offset, len, insts)]: sequential code, instruction count
           included for retirement accounting. *)
-  | Do_call of { site_end : int; callees : (string * float) array }
-      (** Call retiring at block offset [site_end]; a single-entry
-          [callees] array is a direct call. *)
+  | Do_call of { site_end : int; callee_idx : int array; callee_cum : float array }
+      (** Call retiring at block offset [site_end]. Callee names are
+          pre-resolved to dense function indices at build time (the
+          interpreter never looks up a string); a single-entry
+          [callee_idx] is a direct call. [callee_cum] holds the
+          left-to-right partial sums of the virtual-call weights, so the
+          interpreter's weighted pick is pure comparisons. *)
   | Do_dload of { site_end : int; miss_prob : float; covered : bool }
       (** Delinquent load; [covered] when a software prefetch precedes
           it in the same block (paper §3.5). *)
@@ -22,9 +26,20 @@ type op =
 type xblock = {
   addr : int;
   size : int;
-  ops : op list;
+  ops : op array;
   term : Ir.Term.t;
+  term_cum : float array;
+      (** Partial sums of [Switch] case probabilities ([[||]] for other
+          terminators), precomputed for the interpreter's weighted pick. *)
   uid : int;  (** Globally unique id; feeds the stateless coin. *)
+  mutable succ0 : xblock;
+      (** [Jump] target / [Branch] taken successor, patched once all
+          blocks of the image exist (a shared dummy before that). The
+          interpreter follows these record fields instead of re-indexing
+          the per-function block array on every transition. *)
+  mutable succ1 : xblock;  (** [Branch] fallthrough successor. *)
+  mutable succ_tab : xblock array;
+      (** [Switch] successors in table order; [[||]] otherwise. *)
 }
 
 type t

@@ -21,9 +21,27 @@ let taken_branches s = s.cond_taken + s.uncond_jumps + s.indirect_jumps + s.call
 
 exception Out_of_steps
 
+(* Branch-event [c] operands, precomputed (see Event.encode_branch_meta). *)
+let meta_cond_taken = Event.encode_branch_meta ~kind:Event.Cond ~taken:true
+
+let meta_cond_not_taken = Event.encode_branch_meta ~kind:Event.Cond ~taken:false
+
+let meta_uncond = Event.encode_branch_meta ~kind:Event.Uncond ~taken:true
+
+let meta_indirect = Event.encode_branch_meta ~kind:Event.Indirect ~taken:true
+
+let meta_call = Event.encode_branch_meta ~kind:Event.Call ~taken:true
+
+let meta_ret = Event.encode_branch_meta ~kind:Event.Ret ~taken:true
+
 type state = {
   image : Image.t;
-  sink : Event.sink;
+  tape : Event.tape;
+  record : bool;
+      (** [false] only when the caller's sink is {!Event.null}: events
+          would be dropped anyway, so the writes are skipped. Purely an
+          engine-side shortcut — stats never depend on the tape. *)
+  drain : Event.tape -> unit;
   depth_limit : int;
   visits : int array;  (** per block uid *)
   mutable call_seq : int;
@@ -43,106 +61,126 @@ type state = {
   mutable dload_seq : int;
 }
 
-let pick_weighted u seq callees =
-  let r = Support.Rng.hash_float u seq in
-  let n = Array.length callees in
-  let rec go i acc =
-    if i >= n - 1 then fst callees.(n - 1)
-    else begin
-      let name, w = callees.(i) in
-      let acc = acc +. w in
-      if r < acc then name else go (i + 1) acc
-    end
-  in
-  go 0 0.0
+let flush st =
+  if st.tape.len > 0 then begin
+    st.drain st.tape;
+    st.tape.len <- 0
+  end
 
-(* Execute function [fi]; returns the address just past the retiring
-   [ret] instruction (the Ret branch source). *)
+let[@inline] emit st tag a b c =
+  if st.record then begin
+    let t = st.tape in
+    if t.len = Event.tape_capacity then flush st;
+    let i = t.len in
+    Bytes.unsafe_set t.tags i tag;
+    Array.unsafe_set t.a i a;
+    Array.unsafe_set t.b i b;
+    Array.unsafe_set t.c i c;
+    t.len <- i + 1
+  end
+
+let[@inline] emit_fetch st addr len insts = emit st Event.tag_fetch addr len insts
+
+let[@inline] emit_branch st src dst meta = emit st Event.tag_branch src dst meta
+
+let[@inline] emit_dmiss st src = emit st Event.tag_dmiss src 0 0
+
+let[@inline] emit_request st i = emit st Event.tag_request i 0 0
+
+(* Execute function [fi] from its entry block; returns the address just
+   past the retiring [ret] instruction (the Ret branch source).
+   Top-level recursion with explicit arguments: the hot loop allocates
+   no closures, and transitions follow the image's patched [succ]
+   references — no block-table indexing on the hot path at all. *)
 let rec exec_func st fi depth =
-  let rec exec_block b =
-    let xb = Image.block st.image ~func_idx:fi ~block:b in
-    st.s_blocks <- st.s_blocks + 1;
-    st.steps <- st.steps + 1;
-    if st.steps > st.budget then raise Out_of_steps;
-    List.iter
-      (fun (op : Image.op) ->
-        match op with
-        | Image.Run (off, len, insts) ->
-          st.sink.on_fetch (xb.addr + off) len insts;
-          st.s_bytes <- st.s_bytes + len
-        | Image.Do_call { site_end; callees } ->
-          (* Calls beyond the depth limit are elided; the decision only
-             depends on logical state, so it is layout-independent. *)
-          if depth < st.depth_limit then begin
-            st.call_seq <- st.call_seq + 1;
-            let callee = pick_weighted xb.uid st.call_seq callees in
-            let ci = Image.func_index st.image callee in
-            let centry = Image.block st.image ~func_idx:ci ~block:0 in
-            let src = xb.addr + site_end in
-            st.s_calls <- st.s_calls + 1;
-            st.sink.on_branch ~src ~dst:centry.addr ~kind:Event.Call ~taken:true;
-            let ret_src = exec_func st ci (depth + 1) in
-            st.s_returns <- st.s_returns + 1;
-            st.sink.on_branch ~src:ret_src ~dst:src ~kind:Event.Ret ~taken:true
-          end
-        | Image.Do_dload { site_end; miss_prob; covered } ->
-          st.s_dloads <- st.s_dloads + 1;
-          st.dload_seq <- st.dload_seq + 1;
-          (* The miss roll depends only on logical state, so whether the
-             access *would* miss is layout-invariant; prefetch coverage
-             decides whether the pipeline actually stalls. *)
-          if Support.Rng.hash_choice xb.uid (0x0D10AD + st.dload_seq) miss_prob then begin
-            if covered then st.s_dcovered <- st.s_dcovered + 1
-            else begin
-              st.s_dmisses <- st.s_dmisses + 1;
-              st.sink.on_dmiss ~src:(xb.addr + site_end)
-            end
-          end)
-      xb.ops;
-    let uid = xb.uid in
-    let visit = st.visits.(uid) in
-    st.visits.(uid) <- visit + 1;
-    let goto next kind =
-      let nxt = Image.block st.image ~func_idx:fi ~block:next in
-      let src = xb.addr + xb.size in
-      let physically_taken = nxt.addr <> src in
-      (match kind with
-      | Event.Cond ->
-        st.s_cond <- st.s_cond + 1;
-        if physically_taken then st.s_cond_taken <- st.s_cond_taken + 1;
-        st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:physically_taken
-      | Event.Uncond ->
-        if physically_taken then begin
-          st.s_uncond <- st.s_uncond + 1;
-          st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:true
-        end
-      | Event.Indirect ->
-        st.s_indirect <- st.s_indirect + 1;
-        st.sink.on_branch ~src ~dst:nxt.addr ~kind ~taken:true
-      | Event.Call | Event.Ret -> assert false);
-      exec_block next
-    in
-    match xb.term with
-    | Ir.Term.Jump next -> goto next Event.Uncond
-    | Ir.Term.Branch { taken; fallthrough; prob; _ } ->
-      let take = Support.Rng.hash_choice uid visit prob in
-      goto (if take then taken else fallthrough) Event.Cond
-    | Ir.Term.Switch { table; probs; _ } ->
-      let r = Support.Rng.hash_float uid visit in
-      let n = Array.length table in
-      let rec pick i acc =
-        if i >= n - 1 then table.(n - 1)
-        else begin
-          let acc = acc +. probs.(i) in
-          if r < acc then table.(i) else pick (i + 1) acc
-        end
-      in
-      goto (pick 0 0.0) Event.Indirect
-    | Ir.Term.Return -> xb.addr + xb.size
-  in
-  exec_block 0
+  exec_block st depth (Image.block st.image ~func_idx:fi ~block:0)
 
-let run ?ctx image config sink =
+and exec_block st depth xb =
+  st.s_blocks <- st.s_blocks + 1;
+  st.steps <- st.steps + 1;
+  if st.steps > st.budget then raise Out_of_steps;
+  let ops = xb.Image.ops in
+  for k = 0 to Array.length ops - 1 do
+    match Array.unsafe_get ops k with
+    | Image.Run (off, len, insts) ->
+      emit_fetch st (xb.Image.addr + off) len insts;
+      st.s_bytes <- st.s_bytes + len
+    | Image.Do_call { site_end; callee_idx; callee_cum } ->
+      (* Calls beyond the depth limit are elided; the decision only
+         depends on logical state, so it is layout-independent. *)
+      if depth < st.depth_limit then begin
+        st.call_seq <- st.call_seq + 1;
+        let ci =
+          if Array.length callee_idx = 1 then Array.unsafe_get callee_idx 0
+          else Support.Rng.hash_pick xb.Image.uid st.call_seq callee_idx callee_cum
+        in
+        let centry = Image.block st.image ~func_idx:ci ~block:0 in
+        let src = xb.Image.addr + site_end in
+        st.s_calls <- st.s_calls + 1;
+        emit_branch st src centry.Image.addr meta_call;
+        let ret_src = exec_block st (depth + 1) centry in
+        st.s_returns <- st.s_returns + 1;
+        emit_branch st ret_src src meta_ret
+      end
+    | Image.Do_dload { site_end; miss_prob; covered } ->
+      st.s_dloads <- st.s_dloads + 1;
+      st.dload_seq <- st.dload_seq + 1;
+      (* The miss roll depends only on logical state, so whether the
+         access *would* miss is layout-invariant; prefetch coverage
+         decides whether the pipeline actually stalls. *)
+      if Support.Rng.hash_choice xb.Image.uid (0x0D10AD + st.dload_seq) miss_prob then begin
+        if covered then st.s_dcovered <- st.s_dcovered + 1
+        else begin
+          st.s_dmisses <- st.s_dmisses + 1;
+          emit_dmiss st (xb.Image.addr + site_end)
+        end
+      end
+  done;
+  (* [uid < Array.length st.visits] by construction: visits is sized
+     from [Image.num_blocks] of the very image being executed. *)
+  let uid = xb.Image.uid in
+  let visit = Array.unsafe_get st.visits uid in
+  Array.unsafe_set st.visits uid (visit + 1);
+  match xb.Image.term with
+  | Ir.Term.Jump _ -> goto st depth xb xb.Image.succ0 1
+  | Ir.Term.Branch { prob; _ } ->
+    let take = Support.Rng.hash_choice uid visit prob in
+    goto st depth xb (if take then xb.Image.succ0 else xb.Image.succ1) 0
+  | Ir.Term.Switch _ ->
+    let s = xb.Image.succ_tab in
+    let i = Support.Rng.hash_pick_pos uid visit xb.Image.term_cum (Array.length s) in
+    goto st depth xb (Array.unsafe_get s i) 2
+  | Ir.Term.Return -> xb.Image.addr + xb.Image.size
+
+(* [kindc]: 0 = Cond, 1 = Uncond, 2 = Indirect (dense codes shared with
+   Event.kind_to_int). *)
+and goto st depth xb nxt kindc =
+  let src = xb.Image.addr + xb.Image.size in
+  let physically_taken = nxt.Image.addr <> src in
+  (if kindc = 0 then begin
+     st.s_cond <- st.s_cond + 1;
+     if physically_taken then begin
+       st.s_cond_taken <- st.s_cond_taken + 1;
+       emit_branch st src nxt.Image.addr meta_cond_taken
+     end
+     else emit_branch st src nxt.Image.addr meta_cond_not_taken
+   end
+   else if kindc = 1 then begin
+     if physically_taken then begin
+       st.s_uncond <- st.s_uncond + 1;
+       emit_branch st src nxt.Image.addr meta_uncond
+     end
+   end
+   else begin
+     st.s_indirect <- st.s_indirect + 1;
+     emit_branch st src nxt.Image.addr meta_indirect
+   end);
+  exec_block st depth nxt
+
+(* The drain-based entry point: the engine writes the flat event tape
+   and hands full tapes to [drain]. [run] below adapts a closure sink
+   onto it, so both observe the identical stream. *)
+let run_tape_internal ?ctx image config ~record ~drain =
   let r =
     match ctx with
     | Some c -> c.Support.Ctx.recorder
@@ -152,7 +190,9 @@ let run ?ctx image config sink =
   let st =
     {
       image;
-      sink;
+      tape = Event.create_tape ();
+      record;
+      drain;
       depth_limit = config.call_depth_limit;
       visits = Array.make (Image.num_blocks image + 2) 0;
       call_seq = 0;
@@ -181,11 +221,12 @@ let run ?ctx image config sink =
           text segment); real LBRs record it, so the profiler must see
           it too — otherwise fall-through ranges ending at the entry
           function's exit are unobservable. *)
-       sink.on_branch ~src:ret_src ~dst:0x1000 ~kind:Event.Ret ~taken:true
+       emit_branch st ret_src 0x1000 meta_ret
      with Out_of_steps -> ());
     incr completed;
-    sink.on_request r
+    emit_request st r
   done;
+  flush st;
   {
     blocks_executed = st.s_blocks;
     bytes_fetched = st.s_bytes;
@@ -200,3 +241,13 @@ let run ?ctx image config sink =
     dcovered = st.s_dcovered;
     requests_completed = !completed;
   }
+
+let run_tape ?ctx image config ~drain =
+  run_tape_internal ?ctx image config ~record:true ~drain
+
+let drain_ignore (_ : Event.tape) = ()
+
+let run ?ctx image config sink =
+  if sink == Event.null then
+    run_tape_internal ?ctx image config ~record:false ~drain:drain_ignore
+  else run_tape ?ctx image config ~drain:(fun tape -> Event.replay tape sink)

@@ -11,8 +11,12 @@ type stats = {
 
 (* One registered image: its placed blocks in final address order (the
    range-walk index, mirroring how the WPA's DCFG walks sequential
-   ranges). *)
-type index = { locs : Inspect.Resolve.location array }
+   ranges), plus flat (addr, size) arrays for batch binary search. *)
+type index = {
+  locs : Inspect.Resolve.location array;
+  laddrs : int array;
+  lsizes : int array;
+}
 
 type t = {
   window : int;
@@ -47,7 +51,9 @@ let register t binary =
              compare a.block_addr b.block_addr)
       |> Array.of_list
     in
-    Hashtbl.add t.resolvers hex { locs }
+    let laddrs = Array.map (fun (l : Inspect.Resolve.location) -> l.block_addr) locs in
+    let lsizes = Array.map (fun (l : Inspect.Resolve.location) -> l.block_size) locs in
+    Hashtbl.add t.resolvers hex { locs; laddrs; lsizes }
   end
 
 let registered t digest = Hashtbl.mem t.resolvers digest
@@ -70,18 +76,10 @@ type item =
       (** Cross-function landing mid-block (returns): source block,
           destination (func, block, offset) — visit evidence only. *)
 
-let find_loc (locs : Inspect.Resolve.location array) addr =
-  let rec search lo hi =
-    if lo > hi then None
-    else begin
-      let mid = (lo + hi) / 2 in
-      let b = locs.(mid) in
-      if addr < b.block_addr then search lo (mid - 1)
-      else if addr >= b.block_addr + b.block_size then search (mid + 1) hi
-      else Some (mid, b)
-    end
-  in
-  search 0 (Array.length locs - 1)
+let find_loc (idx : index) addr =
+  match Support.Isearch.covering ~addrs:idx.laddrs ~sizes:idx.lsizes addr with
+  | -1 -> None
+  | i -> Some (i, idx.locs.(i))
 
 (* Decode one profile against the layout it was collected on, exactly
    mirroring the DCFG's reading of the record streams: a taken-branch
@@ -91,19 +89,27 @@ let find_loc (locs : Inspect.Resolve.location array) addr =
    floats: branch-derived evidence carries the ring-multiplicity
    deflation so both encodings of a logical edge weigh the same. *)
 let decode t (idx : index) (p : Perfmon.Lbr.profile) emit drop =
-  Hashtbl.iter
-    (fun (src, dst) n ->
+  (* Both endpoints of every taken-branch record resolve as flat
+     batches against the source layout's block index. *)
+  let items = Support.Itab.sorted_items p.Perfmon.Lbr.branches in
+  let srcs = Array.map (fun (key, _) -> Support.Packed.src key - 1) items in
+  let dsts = Array.map (fun (key, _) -> Support.Packed.dst key) items in
+  let si = Support.Isearch.covering_batch ~addrs:idx.laddrs ~sizes:idx.lsizes srcs in
+  let di = Support.Isearch.covering_batch ~addrs:idx.laddrs ~sizes:idx.lsizes dsts in
+  Array.iteri
+    (fun j (_, n) ->
       let w = float_of_int n *. t.branch_weight in
-      match (find_loc idx.locs (src - 1), find_loc idx.locs dst) with
-      | Some (_, sb), Some (_, db) ->
+      if si.(j) >= 0 && di.(j) >= 0 then begin
+        let sb = idx.locs.(si.(j)) and db = idx.locs.(di.(j)) in
         if String.equal sb.func db.func then emit (Edge (sb.func, sb.block, db.block)) w
         else if db.block = 0 && db.offset = 0 then emit (Call (sb.func, sb.block, db.func)) w
         else emit (Landing (sb.func, sb.block, db.func, db.block, db.offset)) w
-      | None, _ | _, None -> drop n)
-    p.Perfmon.Lbr.branches;
-  Hashtbl.iter
-    (fun (range_lo, range_hi) n ->
-      match find_loc idx.locs range_lo with
+      end
+      else drop n)
+    items;
+  Perfmon.Lbr.iter_pairs
+    (fun ~src:range_lo ~dst:range_hi n ->
+      match find_loc idx range_lo with
       | None -> drop n
       | Some (i0, _) ->
         let rec walk i =
@@ -128,9 +134,13 @@ let decode t (idx : index) (p : Perfmon.Lbr.profile) emit drop =
    next block become fall-through range evidence (post-relaxation they
    retire no taken branch), everything else a taken-branch record.
    Calls always record as taken branches, landing on the callee entry. *)
+(* Weight accumulators are packed-key float tables: one immediate int
+   key per logical pair ({!Support.Packed}), no tuple allocation per
+   bump. *)
 let encode tbl item n ~branches ~ranges ~translated ~dropped =
   let tloc f b : Inspect.Resolve.location option = Hashtbl.find_opt tbl (f, b) in
-  let bump table key n =
+  let bump (table : (int, float) Hashtbl.t) ~src ~dst n =
+    let key = Support.Packed.pack ~src ~dst in
     Hashtbl.replace table key (n +. Option.value ~default:0.0 (Hashtbl.find_opt table key))
   in
   let end_addr (l : Inspect.Resolve.location) = l.block_addr + l.block_size in
@@ -139,14 +149,15 @@ let encode tbl item n ~branches ~ranges ~translated ~dropped =
     match (tloc f a, tloc f b) with
     | Some la, Some lb when la.block_size > 0 && lb.block_size > 0 ->
       translated := !translated + 1;
-      if lb.block_addr = end_addr la then bump ranges (la.block_addr, lb.block_addr + 1) n
-      else bump branches (end_addr la, lb.block_addr) n
+      if lb.block_addr = end_addr la then
+        bump ranges ~src:la.block_addr ~dst:(lb.block_addr + 1) n
+      else bump branches ~src:(end_addr la) ~dst:lb.block_addr n
     | _ -> dropped := !dropped + 1)
   | Call (f, a, g) -> (
     match (tloc f a, tloc g 0) with
     | Some la, Some lg when la.block_size > 0 ->
       translated := !translated + 1;
-      bump branches (end_addr la, lg.block_addr) n
+      bump branches ~src:(end_addr la) ~dst:lg.block_addr n
     | _ -> dropped := !dropped + 1)
   | Landing (f, a, g, b, off) -> (
     match (tloc f a, tloc g b) with
@@ -158,20 +169,23 @@ let encode tbl item n ~branches ~ranges ~translated ~dropped =
       else begin
         translated := !translated + 1;
         let off = if b = 0 && off = 0 then 1 else off in
-        bump branches (end_addr la, lb.block_addr + off) n
+        bump branches ~src:(end_addr la) ~dst:(lb.block_addr + off) n
       end
     | _ -> dropped := !dropped + 1)
 
+(* Sorted (packed key, weight) pairs of a packed-key table. Packed keys
+   sort exactly like their (src, dst) pairs. *)
 let sorted_pairs tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort Stdlib.compare
 
-(* Rebuild a hashtable by inserting pairs in sorted order: iteration
-   order becomes a pure function of contents, so downstream consumers
-   (WPA's DCFG construction) see the same profile no matter what order
-   the shards merged in. *)
-let canonical tbl =
-  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
-  List.iter (fun (k, v) -> Hashtbl.add out k v) (sorted_pairs tbl);
+(* Rebuild an int table by inserting pairs in sorted order: slot layout
+   (hence iteration order) becomes a pure function of contents, so
+   downstream consumers (WPA's DCFG construction) see the same profile
+   no matter what order the shards merged in. *)
+let canonical (tbl : Support.Itab.t) =
+  let items = Support.Itab.sorted_items tbl in
+  let out = Support.Itab.create (max 16 (Array.length items)) in
+  Array.iter (fun (k, v) -> Support.Itab.add out k v) items;
   out
 
 let block_table (target : index) =
@@ -189,8 +203,8 @@ let merged t ~target =
   in
   let tbl = block_table target_idx in
   let out = Perfmon.Lbr.create_profile () in
-  let fbranches : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
-  let franges : (int * int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let fbranches : (int, float) Hashtbl.t = Hashtbl.create 4096 in
+  let franges : (int, float) Hashtbl.t = Hashtbl.create 4096 in
   let shards_merged = ref 0
   and stale = ref 0
   and dropped_shards = ref 0
@@ -222,21 +236,18 @@ let merged t ~target =
                   encode tbl item w ~branches:fbranches ~ranges:franges ~translated
                     ~dropped)
               (fun n -> if scale n > 0 then dropped := !dropped + 1);
-            Hashtbl.iter
-              (fun (src, dst) n ->
+            Perfmon.Lbr.iter_pairs
+              (fun ~src ~dst n ->
                 let n = scale n in
                 if n > 0 then
-                  match (find_loc source.locs (src - 1), find_loc source.locs dst) with
+                  match (find_loc source (src - 1), find_loc source dst) with
                   | Some (_, sb), Some (_, db) -> (
                     match (Hashtbl.find_opt tbl (sb.func, sb.block),
                            Hashtbl.find_opt tbl (db.func, db.block))
                     with
                     | Some la, Some lb when la.block_size > 0 ->
-                      let key = (la.block_addr + la.block_size, lb.block_addr) in
-                      Hashtbl.replace out.Perfmon.Lbr.mispredicts key
-                        (n
-                        + Option.value ~default:0
-                            (Hashtbl.find_opt out.Perfmon.Lbr.mispredicts key))
+                      Perfmon.Lbr.add_pair out.Perfmon.Lbr.mispredicts
+                        ~src:(la.block_addr + la.block_size) ~dst:lb.block_addr n
                     | _ -> ())
                   | _ -> ())
               p.Perfmon.Lbr.mispredicts;
@@ -244,20 +255,22 @@ let merged t ~target =
             out.num_records <- out.num_records + scale p.num_records)
         b.shards)
     t.batches;
+  (* Round the float accumulators into canonical int tables: sorted
+     insertion keeps slot layout a pure function of contents. *)
   let rounded ftbl =
-    let itbl = Hashtbl.create (max 16 (Hashtbl.length ftbl)) in
-    Hashtbl.iter
-      (fun k w ->
+    let itbl = Support.Itab.create (max 16 (Hashtbl.length ftbl)) in
+    List.iter
+      (fun (k, w) ->
         let n = int_of_float (Float.round w) in
-        if n > 0 then Hashtbl.replace itbl k n)
-      ftbl;
+        if n > 0 then Support.Itab.add itbl k n)
+      (sorted_pairs ftbl);
     itbl
   in
   let out =
     {
       out with
-      Perfmon.Lbr.branches = canonical (rounded fbranches);
-      ranges = canonical (rounded franges);
+      Perfmon.Lbr.branches = rounded fbranches;
+      ranges = rounded franges;
       mispredicts = canonical out.mispredicts;
     }
   in
@@ -274,9 +287,11 @@ let merged t ~target =
 let signature (p : Perfmon.Lbr.profile) =
   let buf = Buffer.create 4096 in
   let dump tag tbl =
-    List.iter
-      (fun ((a, b), c) -> Printf.bprintf buf "%s %d %d %d\n" tag a b c)
-      (sorted_pairs tbl)
+    Array.iter
+      (fun (key, c) ->
+        Printf.bprintf buf "%s %d %d %d\n" tag (Support.Packed.src key)
+          (Support.Packed.dst key) c)
+      (Support.Itab.sorted_items tbl)
   in
   dump "b" p.branches;
   dump "r" p.ranges;

@@ -61,14 +61,25 @@ let serve ?ctx ?(source = Perfmon.Source.Lbr)
     { sampler with Perfmon.Sampler.seed = sampler.Perfmon.Sampler.seed + (7919 * t.id) }
   in
   let core = Uarch.Core.create t.core_config in
-  let collector =
+  (* Direct tape drains for the hot consumers; the software sampler
+     stays a closure sink behind the replay adapter. The collectors are
+     independent state machines over disjoint event kinds, so draining
+     them one after the other observes exactly what the tee did. *)
+  let drain =
     match source with
-    | Perfmon.Source.Lbr -> Perfmon.Lbr.collector lbr lbr_profile
-    | Perfmon.Source.Sampled -> Perfmon.Sampler.collector sampler samples
+    | Perfmon.Source.Lbr ->
+      let c = Perfmon.Lbr.collector_state lbr lbr_profile in
+      fun tape ->
+        Perfmon.Lbr.consume c tape;
+        Uarch.Core.consume core tape
+    | Perfmon.Source.Sampled ->
+      let sink = Perfmon.Sampler.collector sampler samples in
+      fun tape ->
+        Exec.Event.replay tape sink;
+        Uarch.Core.consume core tape
   in
-  let sink = Exec.Event.tee collector (Uarch.Core.sink core) in
   let stats =
-    Exec.Interp.run ?ctx t.image { Exec.Interp.default_config with requests } sink
+    Exec.Interp.run_tape ?ctx t.image { Exec.Interp.default_config with requests } ~drain
   in
   (* A sampled machine synthesizes locally against the binary it ran
      (the AutoFDO shape: perf.data -> profile conversion on the host,

@@ -40,39 +40,28 @@ let bump tbl key n =
 
 let get tbl key = match Hashtbl.find_opt tbl key with Some r -> !r | None -> 0
 
-(* Sequential-range walk over the address-ordered block array: a range
-   [lo, hi) executed the blocks it covers; each adjacent same-function
-   pair inside it is one fall-through exit (mirrors Dcfg's attribution). *)
+(* Sequential-range walk over the resolver's address-ordered flat
+   block index: a range [lo, hi) executed the blocks it covers; each
+   adjacent same-function pair inside it is one fall-through exit
+   (mirrors Dcfg's attribution). The range starts are resolved as one
+   batch. *)
 let fallthrough_exits (resolver : Resolve.t) (profile : Perfmon.Lbr.profile) =
-  let blocks =
-    Array.of_list (Linker.Binary.blocks_in_address_order (Resolve.binary resolver))
-  in
-  let n = Array.length blocks in
-  let index_of addr =
-    let rec search lo hi =
-      if lo > hi then None
-      else begin
-        let mid = (lo + hi) / 2 in
-        let b = blocks.(mid) in
-        if addr < b.Linker.Binary.addr then search lo (mid - 1)
-        else if addr >= b.addr + b.size then search (mid + 1) hi
-        else Some mid
-      end
-    in
-    search 0 (n - 1)
-  in
+  let n = Resolve.num_blocks resolver in
+  let items = Support.Itab.sorted_items profile.Perfmon.Lbr.ranges in
+  let starts = Array.map (fun (key, _) -> Support.Packed.src key) items in
+  let start_idx = Resolve.resolve_batch resolver starts in
   let ft : (string * int, int ref) Hashtbl.t = Hashtbl.create 1024 in
-  Hashtbl.iter
-    (fun (range_lo, range_hi) cnt ->
-      match index_of range_lo with
-      | None -> ()
-      | Some i0 ->
+  Array.iteri
+    (fun j (key, cnt) ->
+      let range_hi = Support.Packed.dst key in
+      let i0 = start_idx.(j) in
+      if i0 >= 0 then begin
         let rec walk i =
           if i < n then begin
-            let b = blocks.(i) in
+            let b = Resolve.block_at resolver i in
             if b.Linker.Binary.addr < range_hi then begin
               (if i + 1 < n then begin
-                 let nxt = blocks.(i + 1) in
+                 let nxt = Resolve.block_at resolver (i + 1) in
                  if
                    nxt.Linker.Binary.addr = b.addr + b.size
                    && String.equal nxt.func b.func
@@ -83,26 +72,34 @@ let fallthrough_exits (resolver : Resolve.t) (profile : Perfmon.Lbr.profile) =
             end
           end
         in
-        walk i0)
-    profile.Perfmon.Lbr.ranges;
+        walk i0
+      end)
+    items;
   ft
 
 let analyze ~(binary : Linker.Binary.t) ~(profile : Perfmon.Lbr.profile) =
   let resolver = Resolve.create binary in
   let dcfg = Propeller.Dcfg.build_of_blocks ~profile ~binary in
   (* Taken exits and mispredicts, attributed to the source block: the
-     branch retires at src (its end address), so probe src - 1. *)
+     branch retires at src (its end address), so probe src - 1. All
+     record sources resolve as one batch against the flat block index. *)
   let taken : (string * int, int ref) Hashtbl.t = Hashtbl.create 1024 in
   let mis : (string * int, int ref) Hashtbl.t = Hashtbl.create 1024 in
-  Hashtbl.iter
-    (fun (src, dst) cnt ->
-      match Resolve.resolve resolver (src - 1) with
-      | Resolve.Code l ->
-        bump taken (l.func, l.block) cnt;
-        let m = Perfmon.Lbr.mispredict_count profile ~src ~dst in
-        if m > 0 then bump mis (l.func, l.block) m
-      | Resolve.Padding _ | Resolve.Noncode _ | Resolve.Outside -> ())
-    profile.Perfmon.Lbr.branches;
+  let items = Support.Itab.sorted_items profile.Perfmon.Lbr.branches in
+  let srcs = Array.map (fun (key, _) -> Support.Packed.src key - 1) items in
+  let idxs = Resolve.resolve_batch resolver srcs in
+  Array.iteri
+    (fun j (key, cnt) ->
+      if idxs.(j) >= 0 then begin
+        let b = Resolve.block_at resolver idxs.(j) in
+        bump taken (b.Linker.Binary.func, b.block) cnt;
+        let m =
+          Perfmon.Lbr.mispredict_count profile ~src:(Support.Packed.src key)
+            ~dst:(Support.Packed.dst key)
+        in
+        if m > 0 then bump mis (b.func, b.block) m
+      end)
+    items;
   let ft = fallthrough_exits resolver profile in
   let func_report fname (d : Propeller.Dcfg.dfunc) =
     let rows =

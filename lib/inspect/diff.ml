@@ -104,8 +104,8 @@ let distance_in bin ~src:(sf, sb) ~dst:(df, db) =
 let histograms ra (a : Linker.Binary.t) (b : Linker.Binary.t) (profile : Perfmon.Lbr.profile) =
   let wa = Array.make 6 0 and wb = Array.make 6 0 in
   let total = ref 0 and unmatched = ref 0 in
-  Hashtbl.iter
-    (fun (src, dst) cnt ->
+  Perfmon.Lbr.iter_pairs
+    (fun ~src ~dst cnt ->
       total := !total + cnt;
       match (Resolve.resolve ra (src - 1), Resolve.resolve ra dst) with
       | Resolve.Code ls, Resolve.Code ld ->

@@ -6,7 +6,9 @@ type path = { pfunc : string; blocks : int list; weight : int }
 let adjacency (d : Propeller.Dcfg.dfunc) =
   let out : (int, (int * int ref) list ref) Hashtbl.t = Hashtbl.create 32 in
   let edges =
-    Hashtbl.fold (fun (s, dst) r acc -> (s, dst, !r) :: acc) d.Propeller.Dcfg.dedges []
+    Support.Itab.fold
+      (fun key r acc -> (Support.Packed.src key, Support.Packed.dst key, r) :: acc)
+      d.Propeller.Dcfg.dedges []
     |> List.sort compare
   in
   List.iter

@@ -20,6 +20,8 @@ type resolution =
 type t = {
   bin : Linker.Binary.t;
   blocks : Linker.Binary.block_info array;  (* address order *)
+  baddrs : int array;  (* blocks.(i).addr — flat index for binary search *)
+  bsizes : int array;  (* blocks.(i).size *)
   texts : Linker.Binary.placed array;  (* text sections, address order *)
   others : Linker.Binary.placed array;  (* non-text sections, address order *)
 }
@@ -48,13 +50,24 @@ let fragment_to_string = function
 
 let create (bin : Linker.Binary.t) =
   let blocks = Array.of_list (Linker.Binary.blocks_in_address_order bin) in
+  let baddrs = Array.map (fun (b : Linker.Binary.block_info) -> b.addr) blocks in
+  let bsizes = Array.map (fun (b : Linker.Binary.block_info) -> b.size) blocks in
   let texts, others =
     List.partition (fun (p : Linker.Binary.placed) -> p.kind = Objfile.Section.Text) bin.sections
   in
   let by_addr (a : Linker.Binary.placed) (b : Linker.Binary.placed) = compare a.addr b.addr in
   let texts = Array.of_list (List.sort by_addr texts) in
   let others = Array.of_list (List.sort by_addr others) in
-  { bin; blocks; texts; others }
+  { bin; blocks; baddrs; bsizes; texts; others }
+
+let num_blocks t = Array.length t.blocks
+
+let find_block_index t addr = Support.Isearch.covering ~addrs:t.baddrs ~sizes:t.bsizes addr
+
+let block_at t i = t.blocks.(i)
+
+let resolve_batch t queries =
+  Support.Isearch.covering_batch ~addrs:t.baddrs ~sizes:t.bsizes queries
 
 (* Generic covering-interval binary search over an address-sorted array. *)
 let find_covering arr ~addr_of ~size_of addr =
@@ -112,14 +125,9 @@ let neighbours t addr =
   Padding { prev; next }
 
 let resolve t addr =
-  match
-    find_covering t.blocks
-      ~addr_of:(fun (b : Linker.Binary.block_info) -> b.addr)
-      ~size_of:(fun (b : Linker.Binary.block_info) -> b.size)
-      addr
-  with
-  | Some b -> Code (location_of ~sec:(section_at t addr) b addr)
-  | None ->
+  match find_block_index t addr with
+  | i when i >= 0 -> Code (location_of ~sec:(section_at t addr) t.blocks.(i) addr)
+  | _ ->
     if addr >= t.bin.text_start && addr < t.bin.text_end then neighbours t addr
     else begin
       match

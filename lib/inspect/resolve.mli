@@ -44,6 +44,30 @@ val binary : t -> Linker.Binary.t
 (** [resolve t addr] classifies [addr]. *)
 val resolve : t -> int -> resolution
 
+(** {1 Flat block index}
+
+    The allocation-free face of the resolver: blocks addressed by their
+    position in final address order, lookups over sorted flat int
+    arrays ({!Support.Isearch}). The fast path for bulk consumers
+    (annotation, fleet profile translation) that resolve every record
+    of a profile and only need the owning block. *)
+
+val num_blocks : t -> int
+
+val find_block_index : t -> int -> int
+(** [find_block_index t addr] is the address-order index of the block
+    covering [addr], or [-1] when no block covers it (equivalently:
+    {!resolve} would not return [Code _]). *)
+
+val block_at : t -> int -> Linker.Binary.block_info
+(** The block at an address-order index returned by
+    {!find_block_index}/{!resolve_batch}. *)
+
+val resolve_batch : t -> int array -> int array
+(** [resolve_batch t queries] resolves a whole batch of addresses to
+    block indices in one sweep: [out.(j) = find_block_index t
+    queries.(j)]. *)
+
 (** [section_at t addr] finds the placed text section covering [addr]. *)
 val section_at : t -> int -> Linker.Binary.placed option
 

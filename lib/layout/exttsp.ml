@@ -37,57 +37,157 @@ let edge_gain p w dist =
     p.backward_weight *. w *. (1.0 -. (float_of_int (-dist) /. float_of_int p.backward_window))
   else 0.0
 
+(* Edge bundles: flat (src, dst, w) parallel arrays in a fixed order.
+   Scoring folds a bundle left to right, so element order is the float
+   accumulation order — every construction below mirrors the historical
+   list order exactly (a bundle is the list it replaces, element for
+   element), keeping scores bit-identical. *)
+type ebundle = { esrc : int array; edst : int array; ew : float array }
+
+let ebundle_empty = { esrc = [||]; edst = [||]; ew = [||] }
+
+let ebundle_len e = Array.length e.esrc
+
+let ebundle_singleton src dst w = { esrc = [| src |]; edst = [| dst |]; ew = [| w |] }
+
+(* [rev_concat x y] is reverse(x) ++ y — the bundle form of
+   [List.rev_append x y]. *)
+let rev_concat x y =
+  let nx = ebundle_len x and ny = ebundle_len y in
+  let esrc = Array.make (nx + ny) 0
+  and edst = Array.make (nx + ny) 0
+  and ew = Array.make (nx + ny) 0.0 in
+  for i = 0 to nx - 1 do
+    let j = nx - 1 - i in
+    esrc.(i) <- x.esrc.(j);
+    edst.(i) <- x.edst.(j);
+    ew.(i) <- x.ew.(j)
+  done;
+  Array.blit y.esrc 0 esrc nx ny;
+  Array.blit y.edst 0 edst nx ny;
+  Array.blit y.ew 0 ew nx ny;
+  { esrc; edst; ew }
+
+(* [assemble cross ai bi] is reverse(cross) ++ reverse(ai) ++ bi — the
+   bundle form of [List.rev_append cross (List.rev_append ai bi)], the
+   edge set of a candidate (a, b) merge. *)
+let assemble cross ai bi =
+  let nc = ebundle_len cross and na = ebundle_len ai and nb = ebundle_len bi in
+  let n = nc + na + nb in
+  let esrc = Array.make n 0 and edst = Array.make n 0 and ew = Array.make n 0.0 in
+  for i = 0 to nc - 1 do
+    let j = nc - 1 - i in
+    esrc.(i) <- cross.esrc.(j);
+    edst.(i) <- cross.edst.(j);
+    ew.(i) <- cross.ew.(j)
+  done;
+  for i = 0 to na - 1 do
+    let j = na - 1 - i and k = nc + i in
+    esrc.(k) <- ai.esrc.(j);
+    edst.(k) <- ai.edst.(j);
+    ew.(k) <- ai.ew.(j)
+  done;
+  Array.blit bi.esrc 0 esrc (nc + na) nb;
+  Array.blit bi.edst 0 edst (nc + na) nb;
+  Array.blit bi.ew 0 ew (nc + na) nb;
+  { esrc; edst; ew }
+
 type chain = {
   cid : int;
   nodes : int array;
   size : int;  (** total code bytes *)
   weight : float;  (** total execution count *)
   score : float;  (** Ext-TSP score of internal edges under this order *)
-  internal : (int * int * float) list;  (** edges with both ends inside *)
+  internal : ebundle;  (** edges with both ends inside *)
   gen : int;  (** bumped via replacement; used to detect stale candidates *)
 }
 
 (* Scratch state threaded through scoring to avoid re-allocating
-   position maps for every candidate evaluation. *)
-type scratch = { pos : int array; end_pos : int array; stamp : int array; mutable cur : int }
+   position maps for every candidate evaluation. [abuf] holds the
+   candidate arrangement under evaluation, so best_merge never builds
+   throwaway Array.append/concat/sub arrays. *)
+type scratch = {
+  pos : int array;
+  end_pos : int array;
+  stamp : int array;
+  mutable cur : int;
+  abuf : int array;
+}
 
-let make_scratch n = { pos = Array.make n 0; end_pos = Array.make n 0; stamp = Array.make n (-1); cur = 0 }
+let make_scratch n =
+  {
+    pos = Array.make n 0;
+    end_pos = Array.make n 0;
+    stamp = Array.make n (-1);
+    cur = 0;
+    abuf = Array.make n 0;
+  }
 
-(* Score the arrangement [arr] (node ids in layout order) against the
-   given edges; edges with an endpoint outside [arr] contribute 0. *)
-let score_arrangement p scratch sizes arr edges =
+(* Score the first [len] nodes of [arr] (ids in layout order) against
+   the bundle; edges with an endpoint outside contribute 0. Index loops
+   with the exact left-to-right accumulation order of the historical
+   List.fold_left. *)
+let score_arrangement p scratch sizes arr len (e : ebundle) =
   scratch.cur <- scratch.cur + 1;
+  let cur = scratch.cur in
+  let pos = scratch.pos and end_pos = scratch.end_pos and stamp = scratch.stamp in
   let off = ref 0 in
-  Array.iter
-    (fun n ->
-      scratch.pos.(n) <- !off;
-      off := !off + sizes.(n);
-      scratch.end_pos.(n) <- !off;
-      scratch.stamp.(n) <- scratch.cur)
-    arr;
-  List.fold_left
-    (fun acc (src, dst, w) ->
-      if scratch.stamp.(src) = scratch.cur && scratch.stamp.(dst) = scratch.cur then
-        acc +. edge_gain p w (scratch.pos.(dst) - scratch.end_pos.(src))
-      else acc)
-    0.0 edges
+  for i = 0 to len - 1 do
+    let n = Array.unsafe_get arr i in
+    Array.unsafe_set pos n !off;
+    off := !off + Array.unsafe_get sizes n;
+    Array.unsafe_set end_pos n !off;
+    Array.unsafe_set stamp n cur
+  done;
+  let acc = ref 0.0 in
+  let m = Array.length e.esrc in
+  for i = 0 to m - 1 do
+    let src = Array.unsafe_get e.esrc i and dst = Array.unsafe_get e.edst i in
+    if Array.unsafe_get stamp src = cur && Array.unsafe_get stamp dst = cur then
+      acc :=
+        !acc
+        +. edge_gain p (Array.unsafe_get e.ew i)
+             (Array.unsafe_get pos dst - Array.unsafe_get end_pos src)
+  done;
+  !acc
 
+(* Accumulate duplicate pairs (input order, so float sums are stable)
+   and emit a bundle sorted by (src, dst) — the historical sorted-list
+   order. Packed keys keep the table allocation-free per edge. *)
 let dedupe_edges edges =
-  let tbl = Hashtbl.create 256 in
+  let tbl : (int, float) Hashtbl.t = Hashtbl.create 256 in
   List.iter
     (fun (src, dst, w) ->
-      if src <> dst && w > 0.0 then
-        match Hashtbl.find_opt tbl (src, dst) with
-        | Some w0 -> Hashtbl.replace tbl (src, dst) (w0 +. w)
-        | None -> Hashtbl.add tbl (src, dst) w)
+      if src <> dst && w > 0.0 then begin
+        let key = Support.Packed.pack ~src ~dst in
+        match Hashtbl.find_opt tbl key with
+        | Some w0 -> Hashtbl.replace tbl key (w0 +. w)
+        | None -> Hashtbl.add tbl key w
+      end)
     edges;
-  Hashtbl.fold (fun (src, dst) w acc -> (src, dst, w) :: acc) tbl []
-  |> List.sort compare (* determinism: hash order is unspecified *)
+  let n = Hashtbl.length tbl in
+  let keys = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    tbl;
+  Array.sort compare keys;
+  (* Packed keys sort exactly like (src, dst) pairs. *)
+  let esrc = Array.make n 0 and edst = Array.make n 0 and ew = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    let k = keys.(j) in
+    esrc.(j) <- Support.Packed.src k;
+    edst.(j) <- Support.Packed.dst k;
+    ew.(j) <- Hashtbl.find tbl k
+  done;
+  { esrc; edst; ew }
 
 let score ?(params = default_params) ~sizes ~edges ~order () =
   let arr = Array.of_list order in
   let scratch = make_scratch (Array.length sizes) in
-  score_arrangement params scratch sizes arr (dedupe_edges edges)
+  score_arrangement params scratch sizes arr (Array.length arr) (dedupe_edges edges)
 
 let score_norm ?(params = default_params) ~sizes ~edges ~order () =
   let total =
@@ -98,39 +198,63 @@ let score_norm ?(params = default_params) ~sizes ~edges ~order () =
 (* Evaluate the best way to merge chains [a] and [b]. Returns
    (gain, merged node array, merged score) for the best arrangement that
    keeps [entry] first when present, or None if no arrangement is valid
-   or profitable. *)
+   or profitable. Candidates are materialised into the shared
+   [scratch.abuf] (never allocated); only the winner is copied out. *)
 let best_merge p scratch sizes entry a b cross =
-  let edges = List.rev_append cross (List.rev_append a.internal b.internal) in
+  let edges = assemble cross a.internal b.internal in
+  let na = Array.length a.nodes and nb = Array.length b.nodes in
+  let total = na + nb in
+  let buf = scratch.abuf in
   let entry_in arr = Array.exists (fun n -> n = entry) arr in
   let constrained = entry_in a.nodes || entry_in b.nodes in
-  let consider (best : (float * int array) option) arr =
-    if constrained && arr.(0) <> entry then best
-    else
-      let s = score_arrangement p scratch sizes arr edges in
-      match best with Some (bs, _) when bs >= s -> best | Some _ | None -> Some (s, arr)
+  (* Candidate descriptors: 0 = a++b, 1 = b++a, 2 = split (a[0..k) ++ b
+     ++ a[k..)). Trial order and keep-first tie-breaking mirror the
+     historical code exactly. *)
+  let best_s = ref 0.0 and best_kind = ref (-1) and best_split = ref 0 in
+  let fill kind split =
+    match kind with
+    | 0 ->
+      Array.blit a.nodes 0 buf 0 na;
+      Array.blit b.nodes 0 buf na nb
+    | 1 ->
+      Array.blit b.nodes 0 buf 0 nb;
+      Array.blit a.nodes 0 buf nb na
+    | _ ->
+      Array.blit a.nodes 0 buf 0 split;
+      Array.blit b.nodes 0 buf split nb;
+      Array.blit a.nodes split buf (split + nb) (na - split)
   in
-  let concat x y = Array.append x y in
-  let best = consider None (concat a.nodes b.nodes) in
-  let best = consider best (concat b.nodes a.nodes) in
-  let best =
-    (* Split [a] at every interior point and wedge [b] inside: the
-       X1-Y-X2 merge type from Newell & Pupyrev. *)
-    if Array.length a.nodes <= p.max_split_chain && Array.length a.nodes > 1 then begin
-      let acc = ref best in
-      for split = 1 to Array.length a.nodes - 1 do
-        let x1 = Array.sub a.nodes 0 split in
-        let x2 = Array.sub a.nodes split (Array.length a.nodes - split) in
-        acc := consider !acc (Array.concat [ x1; b.nodes; x2 ])
-      done;
-      !acc
+  let consider kind split first_node =
+    if not (constrained && first_node <> entry) then begin
+      fill kind split;
+      let s = score_arrangement p scratch sizes buf total edges in
+      if !best_kind < 0 || s > !best_s then begin
+        best_s := s;
+        best_kind := kind;
+        best_split := split
+      end
     end
-    else best
   in
-  match best with
-  | None -> None
-  | Some (s, arr) ->
+  consider 0 0 a.nodes.(0);
+  consider 1 0 b.nodes.(0);
+  (* Split [a] at every interior point and wedge [b] inside: the
+     X1-Y-X2 merge type from Newell & Pupyrev. *)
+  if na <= p.max_split_chain && na > 1 then
+    for split = 1 to na - 1 do
+      consider 2 split a.nodes.(0)
+    done;
+  if !best_kind < 0 then None
+  else begin
+    let s = !best_s in
     let gain = s -. a.score -. b.score in
-    if gain > 1e-9 then Some (gain, arr, s) else None
+    if gain > 1e-9 then begin
+      let arr = Array.make total 0 in
+      fill !best_kind !best_split;
+      Array.blit buf 0 arr 0 total;
+      Some (gain, arr, s)
+    end
+    else None
+  end
 
 let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
   let merge_count = merge_count () in
@@ -148,12 +272,14 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
     for i = 0 to n - 1 do
       Hashtbl.replace chains i
         { cid = i; nodes = [| i |]; size = sizes.(i); weight = weights.(i); score = 0.0;
-          internal = []; gen = 0 }
+          internal = ebundle_empty; gen = 0 }
     done;
-    (* Cross edges per unordered chain pair, and neighbor sets. *)
+    (* Cross edges per unordered chain pair, and neighbor sets. The keys
+       stay tuples on purpose: their Hashtbl iteration order seeds the
+       pqueue insertion order, which breaks exact-gain ties. *)
     let pair_key a b = if a < b then (a, b) else (b, a)
     in
-    let cross : (int * int, (int * int * float) list) Hashtbl.t = Hashtbl.create (2 * n) in
+    let cross : (int * int, ebundle) Hashtbl.t = Hashtbl.create (2 * n) in
     let neighbors : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create (2 * n) in
     let neighbor_set cid =
       match Hashtbl.find_opt neighbors cid with
@@ -164,15 +290,18 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
         s
     in
     let add_cross a b es =
-      if a <> b && es <> [] then begin
+      if a <> b && ebundle_len es > 0 then begin
         let key = pair_key a b in
-        let prev = Option.value ~default:[] (Hashtbl.find_opt cross key) in
-        Hashtbl.replace cross key (List.rev_append es prev);
+        let prev = Option.value ~default:ebundle_empty (Hashtbl.find_opt cross key) in
+        Hashtbl.replace cross key (rev_concat es prev);
         Hashtbl.replace (neighbor_set a) b ();
         Hashtbl.replace (neighbor_set b) a ()
       end
     in
-    List.iter (fun (src, dst, w) -> add_cross node_chain.(src) node_chain.(dst) [ (src, dst, w) ]) edges;
+    for i = 0 to ebundle_len edges - 1 do
+      let src = edges.esrc.(i) and dst = edges.edst.(i) in
+      add_cross node_chain.(src) node_chain.(dst) (ebundle_singleton src dst edges.ew.(i))
+    done;
     (* Candidate queue. Entries carry the chain ids they were computed
        for; an entry is stale if either id is no longer live. *)
     let pq : (int * int) Support.Pqueue.t = Support.Pqueue.create () in
@@ -231,7 +360,7 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
         incr merge_count;
         let a = Hashtbl.find chains a_id and b = Hashtbl.find chains b_id in
         let key = pair_key a_id b_id in
-        let cross_ab = Option.value ~default:[] (Hashtbl.find_opt cross key) in
+        let cross_ab = Option.value ~default:ebundle_empty (Hashtbl.find_opt cross key) in
         let merged =
           {
             cid = !next_cid;
@@ -239,7 +368,7 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
             size = a.size + b.size;
             weight = a.weight +. b.weight;
             score = s;
-            internal = List.rev_append cross_ab (List.rev_append a.internal b.internal);
+            internal = assemble cross_ab a.internal b.internal;
             gen = 0;
           }
         in

@@ -85,6 +85,37 @@ let assign_addresses base sections =
     sections;
   !cur
 
+(* Working-form instruction array straight from the fragment's list:
+   counted fill, no intermediate cons cell per instruction (the linker
+   rebuilds this form on every relink). *)
+let winsts_of_list insts =
+  match insts with
+  | [] -> [||]
+  | first :: _ ->
+    let n = List.length insts in
+    let arr = Array.make n { i = first; dead = true; tgt = No_target } in
+    List.iteri (fun k i -> arr.(k) <- { i; dead = false; tgt = No_target }) insts;
+    arr
+
+let wpieces_of_frag (frag : Objfile.Fragment.t) =
+  match frag.pieces with
+  | [] -> [||]
+  | (first : Objfile.Fragment.piece) :: _ ->
+    let n = List.length frag.pieces in
+    let dummy = { block = first.block; insts = [||]; paddr = 0; is_landing_pad = false } in
+    let arr = Array.make n dummy in
+    List.iteri
+      (fun k (p : Objfile.Fragment.piece) ->
+        arr.(k) <-
+          {
+            block = p.block;
+            insts = winsts_of_list p.insts;
+            paddr = 0;
+            is_landing_pad = p.is_landing_pad;
+          })
+      frag.pieces;
+    arr
+
 let gather_text_sections objs =
   List.concat_map
     (fun (o : Objfile.File.t) ->
@@ -101,21 +132,7 @@ let gather_text_sections objs =
                 ssymbol = s.symbol;
                 sfunc = frag.func;
                 salign = s.align;
-                pieces =
-                  Array.of_list
-                    (List.map
-                       (fun (p : Objfile.Fragment.piece) ->
-                         {
-                           block = p.block;
-                           insts =
-                             Array.of_list
-                               (List.map
-                                  (fun i -> { i; dead = false; tgt = No_target })
-                                  p.insts);
-                           paddr = 0;
-                           is_landing_pad = p.is_landing_pad;
-                         })
-                       frag.pieces);
+                pieces = wpieces_of_frag frag;
                 saddr = ref 0;
                 had_bbmap;
               }
@@ -137,10 +154,22 @@ let order_text_sections options all =
     let key s = match s.ssymbol with Some sym -> Hashtbl.find rank sym | None -> max_int in
     List.stable_sort (fun a b -> compare (key a) (key b)) ranked @ unranked
 
-(* Resolve every branch target to its piece/section once. *)
+(* Resolve every branch target to its piece/section once. Blocks are
+   indexed by a packed (dense function index, block id) int key — the
+   resolution loop runs once per branch instruction per link, and a
+   tuple key would allocate on every probe. *)
 let resolve_targets sections =
   let syms : (string, int ref) Hashtbl.t = Hashtbl.create 1024 in
-  let blocks : (string * int, wpiece) Hashtbl.t = Hashtbl.create 4096 in
+  let func_idx : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let idx_of_func f =
+    match Hashtbl.find_opt func_idx f with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length func_idx in
+      Hashtbl.add func_idx f i;
+      i
+  in
+  let blocks : (int, wpiece) Hashtbl.t = Hashtbl.create 4096 in
   List.iter
     (fun s ->
       (match s.ssymbol with
@@ -148,11 +177,13 @@ let resolve_targets sections =
         if Hashtbl.mem syms sym then raise (Link_error ("duplicate symbol " ^ sym));
         Hashtbl.add syms sym s.saddr
       | None -> ());
+      let fi = idx_of_func s.sfunc in
       Array.iter
         (fun p ->
-          if Hashtbl.mem blocks (s.sfunc, p.block) then
+          let key = Support.Packed.pack ~src:fi ~dst:p.block in
+          if Hashtbl.mem blocks key then
             raise (Link_error (Printf.sprintf "block %s#%d defined twice" s.sfunc p.block));
-          Hashtbl.add blocks (s.sfunc, p.block) p)
+          Hashtbl.add blocks key p)
         s.pieces)
     sections;
   List.iter
@@ -161,14 +192,27 @@ let resolve_targets sections =
         (fun p ->
           Array.iter
             (fun w ->
-              match Isa.branch_target w.i with
-              | None -> ()
-              | Some (Isa.Target.Block { func; block }) -> (
-                match Hashtbl.find_opt blocks (func, block) with
-                | Some piece -> w.tgt <- To_piece piece
+              (* Match the instruction directly — [Isa.branch_target]
+                 would box an option per probe, once per instruction per
+                 relink. *)
+              match w.i with
+              | Isa.Alu _ | Isa.Load _ | Isa.Store _ | Isa.IndirectCall | Isa.IndirectJmp
+              | Isa.Ret | Isa.Prefetch | Isa.Nop _ | Isa.InlineData _ -> ()
+              | Isa.Jcc { target = Isa.Target.Block { func; block }; _ }
+              | Isa.Jmp { target = Isa.Target.Block { func; block }; _ }
+              | Isa.Call (Isa.Target.Block { func; block }) -> (
+                match Hashtbl.find_opt func_idx func with
                 | None ->
-                  raise (Link_error (Printf.sprintf "unresolved block target %s#%d" func block)))
-              | Some (Isa.Target.Func f) -> (
+                  raise (Link_error (Printf.sprintf "unresolved block target %s#%d" func block))
+                | Some fi -> (
+                  match Hashtbl.find_opt blocks (Support.Packed.pack ~src:fi ~dst:block) with
+                  | Some piece -> w.tgt <- To_piece piece
+                  | None ->
+                    raise
+                      (Link_error (Printf.sprintf "unresolved block target %s#%d" func block))))
+              | Isa.Jcc { target = Isa.Target.Func f; _ }
+              | Isa.Jmp { target = Isa.Target.Func f; _ }
+              | Isa.Call (Isa.Target.Func f) -> (
                 match Hashtbl.find_opt syms f with
                 | Some addr -> w.tgt <- To_sec_addr addr
                 | None -> raise (Link_error ("unresolved function symbol " ^ f))))
@@ -176,6 +220,12 @@ let resolve_targets sections =
         s.pieces)
     sections;
   syms
+
+(* Index of the next live instruction at or after [j], or [-1]. Top
+   level so the sweep's inner scan costs no closure per conditional
+   branch. *)
+let rec next_live_idx insts n j =
+  if j >= n then -1 else if insts.(j).dead then next_live_idx insts n (j + 1) else j
 
 (* One relaxation sweep; returns whether anything changed. Rules:
    1. an unconditional jump whose target is the next address is dead;
@@ -214,15 +264,11 @@ let relax_sweep sections ~deleted ~shrunk =
                   end
                 | Isa.Jcc { cond; target; encoding } ->
                   let tgt = target_addr w in
-                  let next_live =
-                    let rec find j =
-                      if j >= n then None else if p.insts.(j).dead then find (j + 1) else Some j
-                    in
-                    find (idx + 1)
-                  in
+                  let next_live = next_live_idx p.insts n (idx + 1) in
                   let reversed =
                     match next_live with
-                    | Some j -> (
+                    | -1 -> false
+                    | j -> (
                       match p.insts.(j).i with
                       | Isa.Jmp _ ->
                         let jmp_size = Isa.size p.insts.(j).i in
@@ -245,7 +291,6 @@ let relax_sweep sections ~deleted ~shrunk =
                       | Isa.Alu _ | Isa.Load _ | Isa.Store _ | Isa.Jcc _ | Isa.Call _
                       | Isa.IndirectCall | Isa.IndirectJmp | Isa.Ret | Isa.Prefetch
                       | Isa.Nop _ | Isa.InlineData _ -> false)
-                    | None -> false
                   in
                   if (not reversed) && encoding = Isa.Long then begin
                     let tgt = target_addr w in
@@ -294,7 +339,7 @@ let link_with ?recorder ?(options = default_options) ~name ~entry objs =
       Array.iter
         (fun p ->
           let insts =
-            Array.to_list p.insts |> List.filter_map (fun w -> if w.dead then None else Some w.i)
+            Array.fold_right (fun w acc -> if w.dead then acc else w.i :: acc) p.insts []
           in
           Hashtbl.replace blocks (s.sfunc, p.block)
             { Binary.func = s.sfunc; block = p.block; addr = p.paddr; size = piece_size p; insts })

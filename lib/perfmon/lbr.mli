@@ -12,7 +12,12 @@
       frequencies without disassembly.
 
     The aggregation is exactly what [perf script ++ create_llvm_prof]
-    would produce and is all Phase 3 consumes. *)
+    would produce and is all Phase 3 consumes.
+
+    Tables are flat {!Support.Itab} maps over packed
+    [(src lsl 31) lor dst] keys ({!Support.Packed}) — one immediate int
+    per pair, so steady-state collection allocates nothing. Use
+    {!iter_pairs}/{!find_pair}/{!add_pair} to consume or build them. *)
 
 type config = {
   period : int;  (** Taken branches between samples. *)
@@ -22,11 +27,11 @@ type config = {
 val default_config : config
 
 type profile = {
-  branches : (int * int, int) Hashtbl.t;  (** (src, dst) -> count *)
-  ranges : (int * int, int) Hashtbl.t;  (** (start, end) -> count *)
-  mispredicts : (int * int, int) Hashtbl.t;
-      (** (src, dst) -> count of records whose MISPRED bit was set.
-          Hardware LBR stores one mispredict bit per record; the
+  branches : Support.Itab.t;  (** packed (src, dst) -> count *)
+  ranges : Support.Itab.t;  (** packed (start, end) -> count *)
+  mispredicts : Support.Itab.t;
+      (** packed (src, dst) -> count of records whose MISPRED bit was
+          set. Hardware LBR stores one mispredict bit per record; the
           collector models it with a 2-bit saturating direction
           predictor per conditional-branch address and a last-target
           predictor per indirect-jump address. Unconditional direct
@@ -37,8 +42,42 @@ type profile = {
 
 val create_profile : unit -> profile
 
-(** [collector config profile] is a sink that samples into [profile]. *)
+(** {1 Pair-table helpers}
+
+    The shared vocabulary for every profile consumer: address pairs in,
+    packed keys handled internally. *)
+
+val add_pair : Support.Itab.t -> src:int -> dst:int -> int -> unit
+(** [add_pair tbl ~src ~dst n] bumps the pair's count by [n]. Raises
+    [Invalid_argument] when an address exceeds {!Support.Packed.max_addr}. *)
+
+val find_pair : Support.Itab.t -> src:int -> dst:int -> int
+(** The pair's count, or [0] when absent (or unpackable). *)
+
+val iter_pairs : (src:int -> dst:int -> int -> unit) -> Support.Itab.t -> unit
+(** [iter_pairs f tbl] applies [f ~src ~dst count] to every pair. *)
+
+val pair_total : Support.Itab.t -> int
+(** Sum of all counts in a pair table. *)
+
+(** {1 Collection} *)
+
+type collector
+(** Mutable collector state: the LBR ring, the predictor tables and the
+    target profile. *)
+
+val collector_state : config -> profile -> collector
+
+val consume : collector -> Exec.Event.tape -> unit
+(** [consume c tape] drains a flat event tape directly — the fast path
+    to pair with {!Exec.Interp.run_tape}. Observationally identical to
+    feeding the same events through [collector config profile]. *)
+
 val collector : config -> profile -> Exec.Event.sink
+(** [collector config profile] is a closure sink over a fresh
+    {!collector_state} (the adapter for low-rate compositions). *)
+
+(** {1 Aggregates} *)
 
 (** [raw_bytes p] models the on-disk [perf.data] size: every sample
     carries the full LBR buffer (24 B per record + header). *)

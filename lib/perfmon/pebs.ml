@@ -2,33 +2,37 @@ type config = { period : int }
 
 let default_config = { period = 19 }
 
-type profile = { misses : (int, int) Hashtbl.t; mutable num_samples : int }
+type profile = { misses : Support.Itab.t; mutable num_samples : int }
 
-let create_profile () = { misses = Hashtbl.create 256; num_samples = 0 }
+let create_profile () = { misses = Support.Itab.create 256; num_samples = 0 }
+
+type collector = { period : int; mutable since : int; profile : profile }
+
+let collector_state (config : config) profile =
+  { period = config.period; since = 0; profile }
+
+let[@inline] on_dmiss_addr c src =
+  c.since <- c.since + 1;
+  if c.since >= c.period then begin
+    c.since <- 0;
+    c.profile.num_samples <- c.profile.num_samples + 1;
+    Support.Itab.add c.profile.misses src 1
+  end
+
+(* Direct tape drain: only dmiss events matter to PEBS. *)
+let consume c (tape : Exec.Event.tape) =
+  let tags = tape.Exec.Event.tags and a = tape.Exec.Event.a in
+  for i = 0 to tape.Exec.Event.len - 1 do
+    if Bytes.unsafe_get tags i = Exec.Event.tag_dmiss then
+      on_dmiss_addr c (Array.unsafe_get a i)
+  done
 
 let collector config profile =
-  let since = ref 0 in
-  {
-    Exec.Event.null with
-    Exec.Event.on_dmiss =
-      (fun ~src ->
-        incr since;
-        if !since >= config.period then begin
-          since := 0;
-          profile.num_samples <- profile.num_samples + 1;
-          match Hashtbl.find_opt profile.misses src with
-          | Some c -> Hashtbl.replace profile.misses src (c + 1)
-          | None -> Hashtbl.add profile.misses src 1
-        end);
-  }
+  let c = collector_state config profile in
+  { Exec.Event.null with Exec.Event.on_dmiss = (fun ~src -> on_dmiss_addr c src) }
 
-let total profile = Hashtbl.fold (fun _ c acc -> acc + c) profile.misses 0
+let total profile = Support.Itab.fold (fun _ c acc -> acc + c) profile.misses 0
 
 let merge a b =
-  Hashtbl.iter
-    (fun k v ->
-      match Hashtbl.find_opt a.misses k with
-      | Some c -> Hashtbl.replace a.misses k (c + v)
-      | None -> Hashtbl.add a.misses k v)
-    b.misses;
+  Support.Itab.iter (fun k v -> Support.Itab.add a.misses k v) b.misses;
   a.num_samples <- a.num_samples + b.num_samples

@@ -11,11 +11,21 @@ type config = { period : int }
 val default_config : config
 
 type profile = {
-  misses : (int, int) Hashtbl.t;  (** Load end-address -> sample count. *)
+  misses : Support.Itab.t;  (** Load end-address -> sample count. *)
   mutable num_samples : int;
 }
 
 val create_profile : unit -> profile
+
+type collector
+(** Mutable sampling state over a target profile. *)
+
+val collector_state : config -> profile -> collector
+
+val consume : collector -> Exec.Event.tape -> unit
+(** [consume c tape] drains a flat event tape directly (pairs with
+    {!Exec.Interp.run_tape}); identical observations to the closure
+    sink. *)
 
 (** [collector config profile] is a sink sampling into [profile]. *)
 val collector : config -> profile -> Exec.Event.sink

@@ -49,8 +49,8 @@ let synthesize ?(period = Perfmon.Sampler.default_config.Perfmon.Sampler.period)
   done;
   let profile = Perfmon.Lbr.create_profile () in
   let records = ref 0 in
-  let add tbl key w =
-    bump tbl key w;
+  let add tbl ~src ~dst w =
+    Perfmon.Lbr.add_pair tbl ~src ~dst w;
     records := !records + w
   in
   (* Block residency: a one-byte self-range pins the block's count
@@ -83,11 +83,11 @@ let synthesize ?(period = Perfmon.Sampler.default_config.Perfmon.Sampler.period)
   Array.iteri
     (fun i (b : Dcfg.mblock) ->
       if b.msize > 0 then begin
-        if est.(i) > 0 then add profile.Perfmon.Lbr.ranges (b.lo, b.lo + 1) est.(i)
+        if est.(i) > 0 then add profile.Perfmon.Lbr.ranges ~src:b.lo ~dst:(b.lo + 1) est.(i)
         else begin
           match Hashtbl.find_opt est_max b.Dcfg.owner with
           | Some m when m * insts.(i) < zero_confidence * period ->
-            add profile.Perfmon.Lbr.ranges (b.lo, b.lo + 1) 1
+            add profile.Perfmon.Lbr.ranges ~src:b.lo ~dst:(b.lo + 1) 1
           | _ -> ()
         end
       end)
@@ -209,7 +209,7 @@ let synthesize ?(period = Perfmon.Sampler.default_config.Perfmon.Sampler.period)
               (* The record retires at the block's end address; Dcfg
                  probes src-1, the block's last byte. *)
               let src_end = blocks.(i).Dcfg.lo + blocks.(i).Dcfg.msize in
-              add profile.Perfmon.Lbr.branches (src_end, blocks.(j).Dcfg.lo) w
+              add profile.Perfmon.Lbr.branches ~src:src_end ~dst:blocks.(j).Dcfg.lo w
             end)
           edges
       end);
@@ -249,7 +249,7 @@ let synthesize ?(period = Perfmon.Sampler.default_config.Perfmon.Sampler.period)
           est.(i) * c / total
         | _ -> int_of_float (Float.round (float_of_int c *. fallback_scale))
       in
-      add profile.Perfmon.Lbr.branches (site, centry) (max 1 w))
+      add profile.Perfmon.Lbr.branches ~src:site ~dst:centry (max 1 w))
     samples.Perfmon.Sampler.arcs;
   profile.Perfmon.Lbr.num_samples <- samples.Perfmon.Sampler.num_samples;
   profile.Perfmon.Lbr.num_records <- !records;

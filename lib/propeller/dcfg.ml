@@ -3,7 +3,7 @@ type mblock = { lo : int; msize : int; owner : string; bb : int; mutable count :
 type dfunc = {
   dname : string;
   dblocks : (int, mblock) Hashtbl.t;
-  dedges : (int * int, int ref) Hashtbl.t;
+  dedges : Support.Itab.t;  (** packed (src bb, dst bb) -> count *)
   mutable dsamples : int;
 }
 
@@ -34,18 +34,26 @@ let interval_index (binary : Linker.Binary.t) =
   Array.sort (fun a b -> compare a.lo b.lo) arr;
   arr
 
-let find_in arr addr =
+(* Index form of the interval search: [-1] for "no block". The DCFG
+   build runs it twice per LBR pair, so the hot path avoids the option
+   and tuple of [find_in]. *)
+let find_idx arr addr =
   let rec search lo hi =
-    if lo > hi then None
+    if lo > hi then -1
     else begin
       let mid = (lo + hi) / 2 in
       let b = arr.(mid) in
       if addr < b.lo then search lo (mid - 1)
       else if addr >= b.lo + b.msize then search (mid + 1) hi
-      else Some (mid, b)
+      else mid
     end
   in
   search 0 (Array.length arr - 1)
+
+let find_in arr addr =
+  match find_idx arr addr with
+  | -1 -> None
+  | i -> Some (i, arr.(i))
 
 let build_with ~profile blocks =
   let funcs : (string, dfunc) Hashtbl.t = Hashtbl.create 1024 in
@@ -54,7 +62,7 @@ let build_with ~profile blocks =
     | Some d -> d
     | None ->
       let d =
-        { dname = owner; dblocks = Hashtbl.create 16; dedges = Hashtbl.create 16; dsamples = 0 }
+        { dname = owner; dblocks = Hashtbl.create 16; dedges = Support.Itab.create 16; dsamples = 0 }
       in
       Hashtbl.replace funcs owner d;
       d
@@ -67,9 +75,7 @@ let build_with ~profile blocks =
   in
   let note_edge owner src_bb dst_bb n =
     let d = dfunc_of owner in
-    match Hashtbl.find_opt d.dedges (src_bb, dst_bb) with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.replace d.dedges (src_bb, dst_bb) (ref n)
+    Support.Itab.add d.dedges (Support.Packed.pack ~src:src_bb ~dst:dst_bb) n
   in
   let call_arcs : (string * int * string, int ref) Hashtbl.t = Hashtbl.create 256 in
   let note_call caller caller_bb callee n =
@@ -79,44 +85,46 @@ let build_with ~profile blocks =
   in
   (* Taken-branch records: the branch retires at [src] (its end
      address); the block containing src-1 is the source block. *)
-  Hashtbl.iter
-    (fun (src, dst) n ->
-      match find_in blocks (src - 1), find_in blocks dst with
-      | Some (_, sb), Some (_, db) ->
-        note_block db n;
-        if String.equal sb.owner db.owner then note_edge sb.owner sb.bb db.bb n
-        else if db.bb = 0 && db.lo = dst then note_call sb.owner sb.bb db.owner n
-        (* otherwise: a return landing mid-block; not a CFG edge *)
-      | None, _ | _, None -> ())
+  Perfmon.Lbr.iter_pairs
+    (fun ~src ~dst n ->
+      let si = find_idx blocks (src - 1) in
+      if si >= 0 then begin
+        let di = find_idx blocks dst in
+        if di >= 0 then begin
+          let sb = blocks.(si) and db = blocks.(di) in
+          note_block db n;
+          if String.equal sb.owner db.owner then note_edge sb.owner sb.bb db.bb n
+          else if db.bb = 0 && db.lo = dst then note_call sb.owner sb.bb db.owner n
+          (* otherwise: a return landing mid-block; not a CFG edge *)
+        end
+      end)
     profile.Perfmon.Lbr.branches;
+  (* Execution covered [range_lo, range_hi): range_hi is the end
+     address of the next recorded branch, so a block *starting* exactly
+     there never ran. Top-level recursion (via the pre-allocated
+     [note_block]/[note_edge] closures) — a nested [let rec] would
+     allocate a closure per LBR range entry. *)
+  let rec walk_range note_block note_edge blocks range_hi n i =
+    if i < Array.length blocks then begin
+      let b = blocks.(i) in
+      if b.lo < range_hi then begin
+        note_block b n;
+        (if i + 1 < Array.length blocks then begin
+           let nxt = blocks.(i + 1) in
+           if nxt.lo = b.lo + b.msize && String.equal nxt.owner b.owner && nxt.lo < range_hi
+           then note_edge b.owner b.bb nxt.bb n
+         end);
+        walk_range note_block note_edge blocks range_hi n (i + 1)
+      end
+    end
+  in
   (* Sequential ranges between consecutive LBR records: fall-through
      edges and block counts. *)
-  Hashtbl.iter
-    (fun (range_lo, range_hi) n ->
-      match find_in blocks range_lo with
-      | None -> ()
-      | Some (i0, _) ->
-        (* Execution covered [range_lo, range_hi): range_hi is the end
-           address of the next recorded branch, so a block *starting*
-           exactly there never ran. *)
-        let rec walk i =
-          if i < Array.length blocks then begin
-            let b = blocks.(i) in
-            if b.lo < range_hi then begin
-              note_block b n;
-              (if i + 1 < Array.length blocks then begin
-                 let nxt = blocks.(i + 1) in
-                 if
-                   nxt.lo = b.lo + b.msize
-                   && String.equal nxt.owner b.owner
-                   && nxt.lo < range_hi
-                 then note_edge b.owner b.bb nxt.bb n
-               end);
-              walk (i + 1)
-            end
-          end
-        in
-        walk i0)
+  Perfmon.Lbr.iter_pairs
+    (fun ~src:range_lo ~dst:range_hi n ->
+      match find_idx blocks range_lo with
+      | -1 -> ()
+      | i0 -> walk_range note_block note_edge blocks range_hi n i0)
     profile.Perfmon.Lbr.ranges;
   let size_of : (string * int, int) Hashtbl.t = Hashtbl.create 4096 in
   Array.iter (fun b -> Hashtbl.replace size_of (b.owner, b.bb) b.msize) blocks;
@@ -152,7 +160,7 @@ let hot_funcs t =
 let num_blocks t =
   Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.dblocks) t.funcs 0
 
-let num_edges t = Hashtbl.fold (fun _ d acc -> acc + Hashtbl.length d.dedges) t.funcs 0
+let num_edges t = Hashtbl.fold (fun _ d acc -> acc + Support.Itab.length d.dedges) t.funcs 0
 
 let find_block t addr = Option.map snd (find_in t.block_index addr)
 

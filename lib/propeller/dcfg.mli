@@ -20,7 +20,12 @@ type mblock = {
 type dfunc = {
   dname : string;
   dblocks : (int, mblock) Hashtbl.t;
-  dedges : (int * int, int ref) Hashtbl.t;  (** (src bb, dst bb). *)
+  dedges : Support.Itab.t;
+      (** Intra-function edge counts keyed by
+          [Support.Packed.pack ~src:src_bb ~dst:dst_bb] — one immediate
+          int per edge note instead of a tuple + ref. Iteration order is
+          slot order; consumers sort (they always had to under
+          [Hashtbl]). *)
   mutable dsamples : int;
 }
 
@@ -42,6 +47,11 @@ val interval_index : Linker.Binary.t -> mblock array
 (** [find_in blocks addr] binary-searches an address-sorted block array
     for the block containing [addr], returning its index and the block. *)
 val find_in : mblock array -> int -> (int * mblock) option
+
+(** [find_idx blocks addr] is the index form of {!find_in}: the index of
+    the containing block, or [-1]. Allocation-free — the DCFG build
+    calls it twice per LBR pair. *)
+val find_idx : mblock array -> int -> int
 
 (** [build ~profile ~binary] reconstructs the DCFG from the binary's
     [.llvm_bb_addr_map] (Propeller's path). Raises [Invalid_argument]

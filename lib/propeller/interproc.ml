@@ -41,10 +41,11 @@ let layout ~params ~(dcfg : Dcfg.t) ~split_threshold ~entry_func =
   let edges = ref [] in
   List.iter
     (fun (d : Dcfg.dfunc) ->
-      Hashtbl.iter
-        (fun (s, t) r ->
+      Support.Itab.iter
+        (fun key r ->
+          let s = Support.Packed.src key and t = Support.Packed.dst key in
           match Hashtbl.find_opt gid (d.dname, s), Hashtbl.find_opt gid (d.dname, t) with
-          | Some si, Some ti -> edges := (si, ti, float_of_int !r) :: !edges
+          | Some si, Some ti -> edges := (si, ti, float_of_int r) :: !edges
           | None, _ | _, None -> ())
         d.dedges)
     hot;

@@ -106,18 +106,32 @@ let run_round ?(config = default_config) ~env ~program ~name ~round ~prev () =
     let lbr_profile = Perfmon.Lbr.create_profile () in
     let sampled = Perfmon.Sampler.create_profile () in
     let pebs_profile = Perfmon.Pebs.create_profile () in
-    let collector =
-      let base =
-        match config.profile_source with
-        | Perfmon.Source.Lbr -> Perfmon.Lbr.collector config.lbr lbr_profile
-        | Perfmon.Source.Sampled -> Perfmon.Sampler.collector config.sampler sampled
+    (* Hot consumers drain the flat event tape directly; the software
+       sampler keeps its closure sink behind the replay adapter. LBR and
+       PEBS observe disjoint event kinds, so sequential drains see
+       exactly what the tee composition did. *)
+    let drain =
+      let pebs_c =
+        if config.prefetch then Some (Perfmon.Pebs.collector_state config.pebs pebs_profile)
+        else None
       in
-      if config.prefetch then
-        Exec.Event.tee base (Perfmon.Pebs.collector config.pebs pebs_profile)
-      else base
+      let drain_pebs tape =
+        match pebs_c with Some c -> Perfmon.Pebs.consume c tape | None -> ()
+      in
+      match config.profile_source with
+      | Perfmon.Source.Lbr ->
+        let c = Perfmon.Lbr.collector_state config.lbr lbr_profile in
+        fun tape ->
+          Perfmon.Lbr.consume c tape;
+          drain_pebs tape
+      | Perfmon.Source.Sampled ->
+        let sink = Perfmon.Sampler.collector config.sampler sampled in
+        fun tape ->
+          Exec.Event.replay tape sink;
+          drain_pebs tape
     in
     let (_ : Exec.Interp.stats) =
-      Exec.Interp.run ~ctx:env.Buildsys.Driver.ctx image config.profile_run collector
+      Exec.Interp.run_tape ~ctx:env.Buildsys.Driver.ctx image config.profile_run ~drain
     in
     Obs.Recorder.advance rec_ profiling_window_seconds;
     let profile, samples =

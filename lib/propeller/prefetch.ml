@@ -11,7 +11,7 @@ let analyze ?(config = default_config) ~(pebs : Perfmon.Pebs.profile)
   let dcfg = Dcfg.build ~profile:empty ~binary in
   let per_block : (string * int, int) Hashtbl.t = Hashtbl.create 256 in
   let total = ref 0 in
-  Hashtbl.iter
+  Support.Itab.iter
     (fun addr count ->
       total := !total + count;
       (* The sample records the address after the load instruction. *)

@@ -92,10 +92,11 @@ let layout_instance (dcfg : Dcfg.t) (d : Dcfg.dfunc) bb_arr
       hot_arr
   in
   let edges =
-    Hashtbl.fold
-      (fun (s, t) r acc ->
+    Support.Itab.fold
+      (fun key r acc ->
+        let s = Support.Packed.src key and t = Support.Packed.dst key in
         match Hashtbl.find_opt idx_of s, Hashtbl.find_opt idx_of t with
-        | Some si, Some ti -> (si, ti, float_of_int !r) :: acc
+        | Some si, Some ti -> (si, ti, float_of_int r) :: acc
         | None, _ | _, None -> acc)
       d.dedges []
     |> List.sort compare
@@ -148,38 +149,76 @@ let plan_of_order config (dcfg : Dcfg.t) (d : Dcfg.dfunc) ordered_bbs =
     }
   end
 
-(* Content-addressed key of one function's layout problem: everything
-   [plan_of_order (block_layout ...)] can read — the function's sampled
-   counts and edges, its block shapes from the address map, and the
-   layout configuration. Warm relinks whose profile deltas miss this
-   function reuse the cached (plan, score) verbatim. *)
-let layout_key config (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
-  let b = Buffer.create 256 in
+(* Config half of the layout key, shared by every function of one
+   analysis — rendered once, not per hot function. *)
+let layout_params_str config =
   let p = config.exttsp in
-  Buffer.add_string b "layout-v1|";
-  Buffer.add_string b d.dname;
-  Printf.bprintf b "|fw=%d|bw=%d|ftw=%h|fww=%h|bww=%h|msc=%d|pq=%b|thr=%d|split=%b"
+  Printf.sprintf "|fw=%d|bw=%d|ftw=%h|fww=%h|bww=%h|msc=%d|pq=%b|thr=%d|split=%b"
     p.forward_window p.backward_window p.fallthrough_weight p.forward_weight
     p.backward_weight p.max_split_chain p.use_pqueue config.split_threshold
-    config.split_functions;
-  let owned = ref [] in
+    config.split_functions
+
+(* Per-function "|b<bb>:<size>" block-shape segments from the address
+   map, built in one pass over the block index (the per-function scan of
+   the whole index was the warm path's biggest allocator). *)
+let layout_shape_strs (dcfg : Dcfg.t) =
+  let owned : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iter
     (fun (blk : Dcfg.mblock) ->
-      if String.equal blk.owner d.dname then owned := (blk.bb, blk.msize) :: !owned)
+      match Hashtbl.find_opt owned blk.owner with
+      | Some cell -> cell := (blk.bb, blk.msize) :: !cell
+      | None -> Hashtbl.replace owned blk.owner (ref [ (blk.bb, blk.msize) ]))
     dcfg.block_index;
-  List.iter
-    (fun (bb, sz) -> Printf.bprintf b "|b%d:%d" bb sz)
-    (List.sort compare !owned);
+  let shapes = Hashtbl.create (Hashtbl.length owned) in
+  Hashtbl.iter
+    (fun owner cell ->
+      let b = Buffer.create 128 in
+      List.iter
+        (fun (bb, sz) ->
+          Buffer.add_string b "|b";
+          Buffer.add_string b (string_of_int bb);
+          Buffer.add_char b ':';
+          Buffer.add_string b (string_of_int sz))
+        (List.sort compare !cell);
+      Hashtbl.replace shapes owner (Buffer.contents b))
+    owned;
+  shapes
+
+(* Content-addressed key of one function's layout problem: everything
+   [plan_of_order (block_layout ...)] can read — the function's sampled
+   counts and edges, its block shapes from the address map
+   ([shape_strs], precomputed), and the layout configuration
+   ([params_str], precomputed). Warm relinks whose profile deltas miss
+   this function reuse the cached (plan, score) verbatim. *)
+let layout_key ~params_str ~shape_strs (d : Dcfg.dfunc) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "layout-v1|";
+  Buffer.add_string b d.dname;
+  Buffer.add_string b params_str;
+  (match Hashtbl.find_opt shape_strs d.dname with
+  | Some s -> Buffer.add_string b s
+  | None -> ());
   let sampled =
     Hashtbl.fold (fun bb (blk : Dcfg.mblock) acc -> (bb, blk.count) :: acc) d.dblocks []
     |> List.sort compare
   in
-  List.iter (fun (bb, c) -> Printf.bprintf b "|c%d:%d" bb c) sampled;
-  let edges =
-    Hashtbl.fold (fun (s, t) r acc -> (s, t, !r) :: acc) d.dedges []
-    |> List.sort compare
-  in
-  List.iter (fun (s, t, w) -> Printf.bprintf b "|e%d>%d:%d" s t w) edges;
+  List.iter
+    (fun (bb, c) ->
+      Buffer.add_string b "|c";
+      Buffer.add_string b (string_of_int bb);
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int c))
+    sampled;
+  let edges = Support.Itab.sorted_items d.dedges in
+  Array.iter
+    (fun (key, w) ->
+      Buffer.add_string b "|e";
+      Buffer.add_string b (string_of_int (Support.Packed.src key));
+      Buffer.add_char b '>';
+      Buffer.add_string b (string_of_int (Support.Packed.dst key));
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int w))
+    edges;
   Support.Digesting.of_string (Buffer.contents b)
 
 let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
@@ -239,7 +278,9 @@ let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
          width, so layout_score is bit-identical. *)
       let funcs = Array.of_list hot in
       let n = Array.length funcs in
-      let keys = Array.map (fun d -> layout_key config dcfg d) funcs in
+      let params_str = layout_params_str config in
+      let shape_strs = layout_shape_strs dcfg in
+      let keys = Array.map (fun d -> layout_key ~params_str ~shape_strs d) funcs in
       let cached =
         Array.map
           (fun key ->

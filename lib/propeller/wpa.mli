@@ -80,12 +80,25 @@ val block_layout :
   Dcfg.dfunc ->
   int list * float
 
-(** [layout_key config dcfg dfunc] is the content-addressed key of one
-    function's layout problem: a digest over the function's sampled
-    counts and edges, its block shapes from the address map, and the
-    layout configuration. Two profiles that agree on a function produce
-    the same key, so warm relinks reuse its cached (plan, score). *)
-val layout_key : config -> Dcfg.t -> Dcfg.dfunc -> Support.Digesting.t
+(** [layout_params_str config] renders the configuration half of the
+    layout key, shared by every function of one analysis. *)
+val layout_params_str : config -> string
+
+(** [layout_shape_strs dcfg] renders each function's block-shape key
+    segment from the address map, in one pass over the block index. *)
+val layout_shape_strs : Dcfg.t -> (string, string) Hashtbl.t
+
+(** [layout_key ~params_str ~shape_strs dfunc] is the content-addressed
+    key of one function's layout problem: a digest over the function's
+    sampled counts and edges, its block shapes from the address map
+    ([shape_strs]), and the layout configuration ([params_str]). Two
+    profiles that agree on a function produce the same key, so warm
+    relinks reuse its cached (plan, score). *)
+val layout_key :
+  params_str:string ->
+  shape_strs:(string, string) Hashtbl.t ->
+  Dcfg.dfunc ->
+  Support.Digesting.t
 
 (** [analyze ?config ?ctx ?layout_cache ~profile ~binary ()] runs the
     whole-program analysis against a metadata binary (one linked with

@@ -1,0 +1,26 @@
+(* Covering-interval binary search over sorted flat int arrays. The
+   polymorphic-compare-free, closure-free core of every address-to-block
+   lookup: [addrs] holds interval start addresses in ascending order,
+   [sizes] the matching lengths. *)
+
+let covering ~addrs ~sizes addr =
+  let lo = ref 0 and hi = ref (Array.length addrs - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let a = Array.unsafe_get addrs mid in
+    if addr < a then hi := mid - 1
+    else if addr >= a + Array.unsafe_get sizes mid then lo := mid + 1
+    else begin
+      found := mid;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let covering_batch ~addrs ~sizes queries =
+  let n = Array.length queries in
+  let out = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    out.(i) <- covering ~addrs ~sizes (Array.unsafe_get queries i)
+  done;
+  out

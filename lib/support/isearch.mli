@@ -1,0 +1,15 @@
+(** Covering-interval binary search over sorted flat int arrays.
+
+    The allocation-free core of address-to-block resolution: intervals
+    are given as parallel [addrs] (ascending start addresses) and
+    [sizes] arrays; a query returns the index of the interval covering
+    it. Intervals are assumed disjoint. *)
+
+val covering : addrs:int array -> sizes:int array -> int -> int
+(** [covering ~addrs ~sizes addr] is the index [i] with
+    [addrs.(i) <= addr < addrs.(i) + sizes.(i)], or [-1] when no
+    interval covers [addr]. *)
+
+val covering_batch : addrs:int array -> sizes:int array -> int array -> int array
+(** [covering_batch ~addrs ~sizes queries] resolves every query:
+    [out.(j) = covering ~addrs ~sizes queries.(j)]. *)

@@ -1,0 +1,27 @@
+(* Packed (src, dst) address-pair keys.
+
+   Profile tables index on pairs of text-segment addresses. A tuple key
+   costs one 3-word allocation per lookup *and* per insertion; packing
+   both halves into one immediate int makes the pair hashable and
+   comparable for free. 31 bits per half covers any text segment we can
+   simulate (2 GiB), and 62 bits fit OCaml's 63-bit native int with the
+   sign bit left clear. *)
+
+let addr_bits = 31
+
+let max_addr = (1 lsl addr_bits) - 1
+
+let pack ~src ~dst =
+  if src < 0 || src > max_addr || dst < 0 || dst > max_addr then
+    invalid_arg
+      (Printf.sprintf "Packed.pack: address out of range (src=%d dst=%d max=%d)" src dst
+         max_addr);
+  (src lsl addr_bits) lor dst
+
+(* Unchecked variant for hot loops whose inputs are already image
+   addresses (validated at build time). *)
+let pack_unsafe ~src ~dst = (src lsl addr_bits) lor dst
+
+let src key = key lsr addr_bits
+
+let dst key = key land max_addr

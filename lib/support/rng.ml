@@ -2,7 +2,9 @@ type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix64 z =
+(* Inlined so callers see the whole Int64 chain and the intermediates
+   stay unboxed — this hash runs once per simulated branch decision. *)
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
@@ -64,8 +66,32 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
-let hash_float k1 k2 =
+let[@inline] hash_float k1 k2 =
   let h = mix64 (Int64.add (Int64.of_int k1) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (k2 + 1)))) in
   Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
 
-let hash_choice k1 k2 p = hash_float k1 k2 < p
+let[@inline] hash_choice k1 k2 p = hash_float k1 k2 < p
+
+(* Weighted pick: first index whose cumulative weight exceeds the draw,
+   else the last. Lives next to [hash_float] on purpose — intra-module
+   inlining keeps the draw unboxed; a cross-module caller would box the
+   returned float once per pick. *)
+let hash_pick k1 k2 idx cum =
+  let r = hash_float k1 k2 in
+  let n = Array.length idx in
+  let i = ref 0 in
+  while !i < n - 1 && r >= Array.unsafe_get cum !i do
+    incr i
+  done;
+  Array.unsafe_get idx !i
+
+(* Same draw and walk as [hash_pick], but returns the position instead
+   of an element — for callers whose choices live in a parallel array
+   of [n] entries. *)
+let hash_pick_pos k1 k2 cum n =
+  let r = hash_float k1 k2 in
+  let i = ref 0 in
+  while !i < n - 1 && r >= Array.unsafe_get cum !i do
+    incr i
+  done;
+  !i

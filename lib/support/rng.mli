@@ -52,6 +52,19 @@ val shuffle : t -> 'a array -> unit
     function of (block id, visit count), independent of code layout. *)
 val hash_choice : int -> int -> float -> bool
 
+(** [hash_pick key1 key2 idx cum] draws [hash_float key1 key2] and
+    returns [idx.(i)] for the first [i] with the draw below [cum.(i)]
+    ([cum] = cumulative weights, ascending), else the last entry.
+    Weighted virtual-call and switch picks in the interpreter's hot
+    loop: allocation-free. *)
+val hash_pick : int -> int -> int array -> float array -> int
+
+(** [hash_pick_pos key1 key2 cum n] is {!hash_pick} returning the chosen
+    *position* in [0, n) instead of an element, for callers whose
+    choices live in a parallel array of [n] entries. Identical draw and
+    walk, so the two agree for equal [n]. *)
+val hash_pick_pos : int -> int -> float array -> int -> int
+
 (** [hash_float key1 key2] is the underlying stateless uniform float in
     [\[0, 1)]; used for multi-way choices (switches, virtual calls). *)
 val hash_float : int -> int -> float

@@ -34,16 +34,20 @@ let access t addr =
   let set = ln land t.set_mask in
   let base = set * t.p.ways in
   t.clock <- t.clock + 1;
+  let ways = t.p.ways in
+  (* Int sentinel instead of an option: this probe runs several times
+     per fetched line and must not allocate. *)
   let rec find w =
-    if w >= t.p.ways then None
-    else if t.tags.(base + w) = ln then Some w
+    if w >= ways then -1
+    else if Array.unsafe_get t.tags (base + w) = ln then w
     else find (w + 1)
   in
-  match find 0 with
-  | Some w ->
-    t.lru.(base + w) <- t.clock;
+  let hit = find 0 in
+  if hit >= 0 then begin
+    t.lru.(base + hit) <- t.clock;
     true
-  | None ->
+  end
+  else begin
     (* Evict LRU way. *)
     let victim = ref 0 and oldest = ref max_int in
     for w = 0 to t.p.ways - 1 do
@@ -59,6 +63,7 @@ let access t addr =
     t.tags.(base + !victim) <- ln;
     t.lru.(base + !victim) <- t.clock;
     false
+  end
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -45,6 +45,10 @@ type t = {
   btb : Btb.t;
   dsb : Dsb.t;
   c : counters;
+  cyc : float array;
+      (* Hot cycle accumulator. [counters] is a mixed record, so every
+         store to [c.cycles] boxes a float; a one-element float array
+         stores unboxed. Synced into [c.cycles] on every read. *)
   hugepages : bool;
   mutable last_page : int;
 }
@@ -100,19 +104,26 @@ let create (config : config) =
         dmisses = 0;
         cycles = 0.0;
       };
+    cyc = [| 0.0 |];
     last_page = -1;
   }
 
-let counters t = t.c
+let[@inline] add_cycles t x = Array.unsafe_set t.cyc 0 (Array.unsafe_get t.cyc 0 +. x)
 
-let cycles t = t.c.cycles
+let sync t = t.c.cycles <- Array.unsafe_get t.cyc 0
+
+let counters t =
+  sync t;
+  t.c
+
+let cycles t = Array.unsafe_get t.cyc 0
 
 let fetch t addr len insts =
   let c = t.c in
   c.fetch_events <- c.fetch_events + 1;
   let insts = max 1 insts in
   c.instructions <- c.instructions + insts;
-  c.cycles <- c.cycles +. (float_of_int insts /. decode_width);
+  add_cycles t (float_of_int insts /. decode_width);
   (* Touch every 64B line in [addr, addr+len). *)
   let first_line = addr lsr 6 and last_line = (addr + len - 1) lsr 6 in
   for ln = first_line to last_line do
@@ -125,51 +136,52 @@ let fetch t addr len insts =
       if not (Tlb.access t.itlb a) then begin
         c.t1_itlb_miss <- c.t1_itlb_miss + 1;
         if not l1_hit then c.t2_itlb_stall_miss <- c.t2_itlb_stall_miss + 1;
-        c.cycles <-
-          c.cycles +. (if t.hugepages then itlb_walk_penalty_2m else itlb_walk_penalty_4k)
+        add_cycles t (if t.hugepages then itlb_walk_penalty_2m else itlb_walk_penalty_4k)
       end
     end;
     if not l1_hit then begin
       c.i1_l1i_miss <- c.i1_l1i_miss + 1;
-      if Cache.access t.l2 a then c.cycles <- c.cycles +. l2_hit_penalty
+      if Cache.access t.l2 a then add_cycles t l2_hit_penalty
       else begin
         c.i2_l2_code_miss <- c.i2_l2_code_miss + 1;
-        if Cache.access t.l3 a then c.cycles <- c.cycles +. l3_hit_penalty
+        if Cache.access t.l3 a then add_cycles t l3_hit_penalty
         else begin
           c.i3_l3_code_miss <- c.i3_l3_code_miss + 1;
-          c.cycles <- c.cycles +. dram_penalty
+          add_cycles t dram_penalty
         end
       end
     end;
     if not (Dsb.access t.dsb a) then begin
       c.dsb_misses <- c.dsb_misses + 1;
-      c.cycles <- c.cycles +. dsb_switch_penalty
+      add_cycles t dsb_switch_penalty
     end;
     (* A second DSB window per line (two 32B windows per 64B line). *)
     if not (Dsb.access t.dsb (a + 32)) then begin
       c.dsb_misses <- c.dsb_misses + 1;
-      c.cycles <- c.cycles +. dsb_switch_penalty
+      add_cycles t dsb_switch_penalty
     end
   done
 
-let branch t ~src ~dst:_ ~kind ~taken =
+(* [kindc] is the dense Event.kind_to_int code (0 = Cond). *)
+let[@inline] branch_coded t ~src ~kindc ~taken =
   let c = t.c in
-  (match kind with
-  | Exec.Event.Cond -> c.cond_branches <- c.cond_branches + 1
-  | Exec.Event.Uncond | Exec.Event.Indirect | Exec.Event.Call | Exec.Event.Ret -> ());
+  if kindc = 0 then c.cond_branches <- c.cond_branches + 1;
   if taken then begin
     c.b2_taken_branches <- c.b2_taken_branches + 1;
-    c.cycles <- c.cycles +. taken_branch_bubble;
+    add_cycles t taken_branch_bubble;
     if Btb.taken t.btb ~src then begin
       c.b1_baclears <- c.b1_baclears + 1;
-      c.cycles <- c.cycles +. resteer_penalty
+      add_cycles t resteer_penalty
     end
   end
+
+let branch t ~src ~dst:_ ~kind ~taken =
+  branch_coded t ~src ~kindc:(Exec.Event.kind_to_int kind) ~taken
 
 let dmiss t =
   let c = t.c in
   c.dmisses <- c.dmisses + 1;
-  c.cycles <- c.cycles +. dmiss_penalty
+  add_cycles t dmiss_penalty
 
 let sink t =
   {
@@ -179,6 +191,25 @@ let sink t =
     on_request = (fun _ -> ());
   }
 
+(* Direct tape drain: one monomorphic dispatch loop, no closure hops,
+   no variant or float boxing per event. *)
+let consume t (tape : Exec.Event.tape) =
+  let tags = tape.Exec.Event.tags
+  and a = tape.Exec.Event.a
+  and b = tape.Exec.Event.b
+  and c = tape.Exec.Event.c in
+  for i = 0 to tape.Exec.Event.len - 1 do
+    match Bytes.unsafe_get tags i with
+    | '\000' ->
+      fetch t (Array.unsafe_get a i) (Array.unsafe_get b i) (Array.unsafe_get c i)
+    | '\001' ->
+      let meta = Array.unsafe_get c i in
+      branch_coded t ~src:(Array.unsafe_get a i) ~kindc:(meta lsr 1)
+        ~taken:(meta land 1 = 1)
+    | '\002' -> dmiss t
+    | _ -> ()
+  done
+
 let reset t =
   Cache.reset t.l1i;
   Cache.reset t.l2;
@@ -187,6 +218,7 @@ let reset t =
   Btb.reset t.btb;
   Dsb.reset t.dsb;
   t.last_page <- -1;
+  t.cyc.(0) <- 0.0;
   let c = t.c in
   c.instructions <- 0;
   c.fetch_events <- 0;
@@ -221,6 +253,7 @@ let counters_assoc (c : counters) =
 let publish_with ?recorder ~name t =
   let r = match recorder with Some r -> r | None -> Obs.Recorder.global in
   Obs.Recorder.with_span r ("uarch:publish:" ^ name) @@ fun () ->
+  sync t;
   let c = t.c in
   List.iter
     (fun (counter, v) ->

@@ -52,6 +52,12 @@ val create : config -> t
 (** [sink t] is the event sink to attach to {!Exec.Interp.run}. *)
 val sink : t -> Exec.Event.sink
 
+(** [consume t tape] drains a flat event tape directly — the fast path
+    to pair with {!Exec.Interp.run_tape} (no closure indirection, no
+    per-event boxing). Observationally identical to feeding the same
+    events through [sink t]. *)
+val consume : t -> Exec.Event.tape -> unit
+
 val counters : t -> counters
 
 (** [cycles t] is the modelled front-end-bound cycle count. *)

@@ -114,6 +114,18 @@ cmp -s "$out_dir/metrics_j4.json" "$out_dir/metrics_j1.json" || {
   echo "FAIL: metrics JSON differs between --jobs 4 and --jobs 1" >&2
   exit 1
 }
+# Fast-path equivalence: the flat tape dispatch and the packed-key LBR
+# collector feed phase 3, so its deterministic summary (sample and
+# hot-func counts) must not depend on pool width either.
+prof1=$(sed -n 's/^phase 3 ([^)]*): \([0-9]* samples, [0-9]* hot funcs\).*/\1/p' "$out_dir/driver_j1.log")
+prof4=$(sed -n 's/^phase 3 ([^)]*): \([0-9]* samples, [0-9]* hot funcs\).*/\1/p' "$out_dir/driver_j4.log")
+test -n "$prof1" || { echo "FAIL: driver printed no phase 3 profile summary" >&2; exit 1; }
+if [ "$prof1" != "$prof4" ]; then
+  echo "FAIL: profile summary differs between --jobs 1 and --jobs 4" >&2
+  echo "  jobs=1: $prof1" >&2
+  echo "  jobs=4: $prof4" >&2
+  exit 1
+fi
 
 echo "== propeller_inspect smoke =="
 # Each view must produce JSON that our own Obs.Json parser accepts; the
@@ -312,6 +324,12 @@ dune exec bench/main.exe -- --jobs 1 \
   >"$out_dir/bench.log" 2>&1 || {
   echo "FAIL: bench --json-out run failed" >&2
   cat "$out_dir/bench.log" >&2
+  exit 1
+}
+# The informational micro object (fast-path kernel timings) must ride
+# along in every bench file.
+grep -q '"micro"' "$out_dir/bench.json" || {
+  echo "FAIL: bench JSON missing the micro kernel-timing object" >&2
   exit 1
 }
 scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {

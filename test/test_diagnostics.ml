@@ -24,9 +24,10 @@ let test_quality_exact () =
   let binary, blocks = diamond_binary () in
   let profile = Perfmon.Lbr.create_profile () in
   (* The branch retires at its end address: src-1 must land in block 0. *)
-  Hashtbl.replace profile.Perfmon.Lbr.branches (block_end blocks.(0), blocks.(1).addr) 3;
+  Perfmon.Lbr.add_pair profile.Perfmon.Lbr.branches ~src:(block_end blocks.(0))
+    ~dst:blocks.(1).addr 3;
   (* A record from a different binary version: both endpoints unmapped. *)
-  Hashtbl.replace profile.Perfmon.Lbr.branches (1, 2) 1;
+  Perfmon.Lbr.add_pair profile.Perfmon.Lbr.branches ~src:1 ~dst:2 1;
   profile.Perfmon.Lbr.num_samples <- 2;
   profile.Perfmon.Lbr.num_records <- 4;
   let dcfg = Propeller.Dcfg.build ~profile ~binary in
@@ -54,7 +55,8 @@ let test_quality_exact () =
 let test_quality_no_mismatch () =
   let binary, blocks = diamond_binary () in
   let profile = Perfmon.Lbr.create_profile () in
-  Hashtbl.replace profile.Perfmon.Lbr.branches (block_end blocks.(0), blocks.(2).addr) 7;
+  Perfmon.Lbr.add_pair profile.Perfmon.Lbr.branches ~src:(block_end blocks.(0))
+    ~dst:blocks.(2).addr 7;
   let dcfg = Propeller.Dcfg.build ~profile ~binary in
   let q = Diagnostics.Quality.analyze ~dcfg ~profile () in
   check ti "no mismatch" 0 q.mismatch_records;
@@ -77,8 +79,10 @@ let test_layout_exact () =
   let profile = Perfmon.Lbr.create_profile () in
   (* Sequential range covering blocks 0 and 2 only (hi is exclusive of
      any block *starting* at it): fall-through edge + both counts. *)
-  Hashtbl.replace profile.Perfmon.Lbr.ranges (blocks.(0).addr, blocks.(2).addr + 1) 5;
-  Hashtbl.replace profile.Perfmon.Lbr.branches (block_end blocks.(2), blocks.(1).addr) 2;
+  Perfmon.Lbr.add_pair profile.Perfmon.Lbr.ranges ~src:blocks.(0).addr
+    ~dst:(blocks.(2).addr + 1) 5;
+  Perfmon.Lbr.add_pair profile.Perfmon.Lbr.branches ~src:(block_end blocks.(2))
+    ~dst:blocks.(1).addr 2;
   let dcfg = Propeller.Dcfg.build ~profile ~binary in
   let l = Diagnostics.Layoutq.analyze ~dcfg ~final:binary () in
   check ti "edge weight" 7 l.edge_weight;

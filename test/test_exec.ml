@@ -186,6 +186,47 @@ let test_inline_data_not_fetched () =
   (* 10 + 6 + ret(1) executed; the 64 data bytes are skipped. *)
   check ti "data bytes skipped" 17 stats.bytes_fetched
 
+(* Steady-state allocation law (ISSUE 9): once the event tape and the
+   LBR tables have grown to capacity, a warm profiled run allocates a
+   fixed per-run overhead (the stats record, the drain closure) and
+   nothing per event. The per-request bound guards the flat fast path
+   against reintroducing closures or tuple keys on the event path,
+   which immediately costs tens of words per request. *)
+let test_steady_state_allocation () =
+  let _, program = medium_program () in
+  let _, image = build_image program in
+  let profile = Perfmon.Lbr.create_profile () in
+  let c = Perfmon.Lbr.collector_state Perfmon.Lbr.default_config profile in
+  let reps = 5 in
+  (* Words allocated by [reps] warm runs at [requests] requests each.
+     Each run pays a fixed setup cost (the event tape, the visits
+     array, the interpreter state), so the per-request marginal cost is
+     the slope between two request counts, not a single quotient. *)
+  let measure requests =
+    let config = { Exec.Interp.default_config with requests } in
+    let run () =
+      ignore
+        (Exec.Interp.run_tape image config ~drain:(Perfmon.Lbr.consume c)
+          : Exec.Interp.stats)
+    in
+    (* Warm-up: grow the tape and the profile tables to steady capacity. *)
+    for _ = 1 to 3 do
+      run ()
+    done;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      run ()
+    done;
+    Gc.minor_words () -. w0
+  in
+  let lo = 20 and hi = 120 in
+  let slope = (measure hi -. measure lo) /. float_of_int (reps * (hi - lo)) in
+  (* Zero today. One stray box or closure on the event path costs
+     hundreds of words per request, so 8.0 is a tight tripwire that
+     still tolerates incidental runtime noise. *)
+  if slope > 8.0 then
+    Alcotest.failf "steady-state allocation too high: %.2f words/request" slope
+
 let suite =
   [
     Alcotest.test_case "image matches binary" `Quick test_image_block_fidelity;
@@ -199,4 +240,5 @@ let suite =
     Alcotest.test_case "call depth elision" `Quick test_call_depth_elision;
     Alcotest.test_case "step budget" `Quick test_step_budget;
     Alcotest.test_case "inline data not fetched" `Quick test_inline_data_not_fetched;
+    Alcotest.test_case "steady-state allocation bounded" `Quick test_steady_state_allocation;
   ]

@@ -216,9 +216,9 @@ let test_lbr_mispredicts () =
   let _, profile = run_with_profile ~requests:400 program binary in
   check tb "mispredicts recorded" true (Perfmon.Lbr.mispredict_total profile > 0);
   (* Per-pair counts never exceed the pair's record count. *)
-  Hashtbl.iter
-    (fun (src, dst) m ->
-      let n = Option.value (Hashtbl.find_opt profile.Perfmon.Lbr.branches (src, dst)) ~default:0 in
+  Perfmon.Lbr.iter_pairs
+    (fun ~src ~dst m ->
+      let n = Perfmon.Lbr.find_pair profile.Perfmon.Lbr.branches ~src ~dst in
       if m > n then Alcotest.failf "pair (0x%x,0x%x): %d mispredicts > %d records" src dst m n)
     profile.Perfmon.Lbr.mispredicts;
   (* Rate accessor agrees with the raw tables and is 0 for unseen pairs. *)

@@ -47,8 +47,8 @@ let test_profile_addresses_all_map () =
   let _, profile = run_with_profile ~requests:30 program binary in
   let dcfg = Propeller.Dcfg.build ~profile ~binary in
   let unmapped = ref 0 and total = ref 0 in
-  Hashtbl.iter
-    (fun (_, dst) _ ->
+  Perfmon.Lbr.iter_pairs
+    (fun ~src:_ ~dst _ ->
       incr total;
       if Propeller.Dcfg.find_block dcfg dst = None then incr unmapped)
     profile.branches;

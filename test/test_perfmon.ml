@@ -19,8 +19,8 @@ let test_collector_samples () =
 let test_branch_pairs_valid () =
   let program = call_program () in
   let binary, _, profile = profile_of ~requests:50 program in
-  Hashtbl.iter
-    (fun (src, dst) n ->
+  Perfmon.Lbr.iter_pairs
+    (fun ~src ~dst n ->
       check tb "count positive" true (n > 0);
       check tb "src in text" true (src > binary.text_start && src <= binary.text_end);
       (* Root returns target the exit stub below the text segment. *)
@@ -31,8 +31,8 @@ let test_branch_pairs_valid () =
 let test_ranges_ordered () =
   let _, program = medium_program () in
   let _, _, profile = profile_of program in
-  Hashtbl.iter
-    (fun (lo, hi) _ -> check tb "range well formed" true (lo <= hi))
+  Perfmon.Lbr.iter_pairs
+    (fun ~src:lo ~dst:hi _ -> check tb "range well formed" true (lo <= hi))
     profile.ranges
 
 let test_sampling_period_thins_profile () =
@@ -56,10 +56,10 @@ let test_merge () =
   let program = call_program () in
   let _, _, p1 = profile_of ~requests:10 program in
   let _, _, p2 = profile_of ~requests:10 program in
-  let total_before = Hashtbl.fold (fun _ n acc -> acc + n) p1.branches 0 in
+  let total_before = Perfmon.Lbr.pair_total p1.branches in
   let samples_before = p1.num_samples in
   Perfmon.Lbr.merge p1 p2;
-  let total_after = Hashtbl.fold (fun _ n acc -> acc + n) p1.branches 0 in
+  let total_after = Perfmon.Lbr.pair_total p1.branches in
   check ti "branch counts add" (2 * total_before) total_after;
   check ti "samples add" (2 * samples_before) p1.num_samples
 
@@ -77,12 +77,12 @@ let test_hot_edge_dominates () =
   let program = Ir.Program.make ~name:"p" ~main:"main" [ Ir.Cunit.make ~name:"u" [ f ] ] in
   let binary, _, profile = profile_of ~requests:400 program in
   let b1 = Linker.Binary.block_info_exn binary ~func:"main" ~block:1 in
-  let back_edge_count =
-    Hashtbl.fold
-      (fun (_, dst) n acc -> if dst = b1.addr then max acc n else acc)
-      profile.branches 0
-  in
-  let max_count = Hashtbl.fold (fun _ n acc -> max acc n) profile.branches 0 in
+  let back_edge_count = ref 0 in
+  Perfmon.Lbr.iter_pairs
+    (fun ~src:_ ~dst n -> if dst = b1.addr then back_edge_count := max !back_edge_count n)
+    profile.branches;
+  let back_edge_count = !back_edge_count in
+  let max_count = Support.Itab.fold (fun _ n acc -> max acc n) profile.branches 0 in
   check ti "back edge is the hottest pair" max_count back_edge_count
 
 (* --- Software stack sampler --------------------------------------- *)
@@ -209,7 +209,7 @@ let test_pebs_period_exceeds_misses () =
   let stats, profile = pebs_of ~period:(10 * 1000 * 1000) program binary in
   check tb "workload does miss" true (stats.Exec.Interp.dmisses > 0);
   check ti "period beyond the miss count collects nothing" 0 profile.num_samples;
-  check ti "no sites recorded" 0 (Hashtbl.length profile.misses)
+  check ti "no sites recorded" 0 (Support.Itab.length profile.misses)
 
 let test_pebs_period_edge () =
   (* Exactly [dmisses] misses at period [dmisses] yields one sample. *)
@@ -231,10 +231,10 @@ let test_pebs_merge_accumulates () =
   Perfmon.Pebs.merge p1 p2;
   check ti "site counts add" (2 * total_before) (Perfmon.Pebs.total p1);
   check ti "samples add" (2 * samples_before) p1.num_samples;
-  Hashtbl.iter
+  Support.Itab.iter
     (fun src c ->
       check ti (Printf.sprintf "site %x doubled" src) (2 * c)
-        (Option.value ~default:0 (Hashtbl.find_opt p1.misses src)))
+        (Support.Itab.find p1.misses src))
     p2.misses
 
 let test_pebs_collector_deterministic () =
@@ -245,12 +245,59 @@ let test_pebs_collector_deterministic () =
   let _, p1 = pebs_of program binary in
   let _, p2 = pebs_of program binary in
   check ti "same sample count" p1.num_samples p2.num_samples;
-  check ti "same site cardinality" (Hashtbl.length p1.misses) (Hashtbl.length p2.misses);
-  Hashtbl.iter
+  check ti "same site cardinality" (Support.Itab.length p1.misses)
+    (Support.Itab.length p2.misses);
+  Support.Itab.iter
     (fun src c ->
-      check ti (Printf.sprintf "site %x count" src) c
-        (Option.value ~default:0 (Hashtbl.find_opt p2.misses src)))
+      check ti (Printf.sprintf "site %x count" src) c (Support.Itab.find p2.misses src))
     p1.misses
+
+(* --- Packed-key merge equivalence (ISSUE 9) ------------------------ *)
+
+(* Profiles built and merged through the packed-key flat tables must be
+   indistinguishable from the old tuple-keyed Hashtbl path: same
+   distinct-pair set, same per-pair totals. *)
+let merge_equivalence_law =
+  let arc = QCheck.(triple (int_range 0 0xffff) (int_range 0 0xffff) (int_range 1 1000)) in
+  QCheck.Test.make ~count:200 ~name:"packed-key profile merge = tuple-keyed merge"
+    QCheck.(pair (small_list arc) (small_list arc))
+    (fun (xs, ys) ->
+      let a = Perfmon.Lbr.create_profile () and b = Perfmon.Lbr.create_profile () in
+      List.iter (fun (s, d, w) -> Perfmon.Lbr.add_pair a.branches ~src:s ~dst:d w) xs;
+      List.iter (fun (s, d, w) -> Perfmon.Lbr.add_pair b.branches ~src:s ~dst:d w) ys;
+      Perfmon.Lbr.merge a b;
+      let reference = Hashtbl.create 64 in
+      List.iter
+        (fun (s, d, w) ->
+          let k = (s, d) in
+          Hashtbl.replace reference k
+            (w + Option.value ~default:0 (Hashtbl.find_opt reference k)))
+        (xs @ ys);
+      Support.Itab.length a.branches = Hashtbl.length reference
+      && Hashtbl.fold
+           (fun (s, d) w ok ->
+             ok && Perfmon.Lbr.find_pair a.branches ~src:s ~dst:d = w)
+           reference true)
+
+let pebs_merge_equivalence_law =
+  let hit = QCheck.(pair (int_range 0 0xffff) (int_range 1 1000)) in
+  QCheck.Test.make ~count:200 ~name:"packed pebs merge = tuple-keyed merge"
+    QCheck.(pair (small_list hit) (small_list hit))
+    (fun (xs, ys) ->
+      let a = Perfmon.Pebs.create_profile () and b = Perfmon.Pebs.create_profile () in
+      List.iter (fun (addr, n) -> Support.Itab.add a.Perfmon.Pebs.misses addr n) xs;
+      List.iter (fun (addr, n) -> Support.Itab.add b.Perfmon.Pebs.misses addr n) ys;
+      Perfmon.Pebs.merge a b;
+      let reference = Hashtbl.create 64 in
+      List.iter
+        (fun (addr, n) ->
+          Hashtbl.replace reference addr
+            (n + Option.value ~default:0 (Hashtbl.find_opt reference addr)))
+        (xs @ ys);
+      Support.Itab.length a.Perfmon.Pebs.misses = Hashtbl.length reference
+      && Hashtbl.fold
+           (fun addr n ok -> ok && Support.Itab.find a.Perfmon.Pebs.misses addr = n)
+           reference true)
 
 let suite =
   [
@@ -273,4 +320,6 @@ let suite =
     Alcotest.test_case "pebs period edge" `Quick test_pebs_period_edge;
     Alcotest.test_case "pebs merge accumulates" `Quick test_pebs_merge_accumulates;
     Alcotest.test_case "pebs collector deterministic" `Quick test_pebs_collector_deterministic;
+    QCheck_alcotest.to_alcotest merge_equivalence_law;
+    QCheck_alcotest.to_alcotest pebs_merge_equivalence_law;
   ]

@@ -37,10 +37,11 @@ let test_dcfg_reconstruction () =
   match Hashtbl.find_opt dcfg.funcs "main" with
   | None -> Alcotest.fail "main not in DCFG"
   | Some d ->
-    check tb "back edge recovered" true (Hashtbl.mem d.dedges (1, 1));
+    let back_key = Support.Packed.pack ~src:1 ~dst:1 in
+    check tb "back edge recovered" true (Support.Itab.mem d.dedges back_key);
     check tb "back edge dominant" true
-      (let back = !(Hashtbl.find d.dedges (1, 1)) in
-       Hashtbl.fold (fun _ r acc -> acc && !r <= back) d.dedges true);
+      (let back = Support.Itab.find d.dedges back_key in
+       Support.Itab.fold (fun _ r acc -> acc && r <= back) d.dedges true);
     check tb "samples attributed" true (d.dsamples > 0)
 
 let test_dcfg_block_mapping () =
@@ -276,11 +277,12 @@ let test_incremental_layout_cache () =
     | None -> None
   in
   let victim_branch =
-    Hashtbl.fold
-      (fun (s, d) _ acc ->
+    Support.Itab.fold
+      (fun key _ acc ->
         match acc with
         | Some _ -> acc
         | None -> (
+          let s = Support.Packed.src key and d = Support.Packed.dst key in
           match owner s, owner d with
           | Some fs, Some fd when String.equal fs fd && List.mem fs hot_names ->
             Some (s, d, fs)
@@ -288,8 +290,7 @@ let test_incremental_layout_cache () =
       profile.Perfmon.Lbr.branches None
   in
   let s, d, victim = Option.get victim_branch in
-  Hashtbl.replace profile.branches (s, d)
-    (Hashtbl.find profile.branches (s, d) + 1000);
+  Perfmon.Lbr.add_pair profile.branches ~src:s ~dst:d 1000;
   let dirty = analyze () in
   check ti "same hot set" cold.hot_funcs dirty.hot_funcs;
   check ti "exactly the dirtied function misses" 1 dirty.layout_cache_misses;
@@ -340,11 +341,11 @@ let test_sampled_pipeline_shape () =
   | None -> Alcotest.fail "sampled run must expose raw samples");
   check tb "synthesis produced records" true (r.profile.Perfmon.Lbr.num_records > 0);
   (* The synthesized profile carries no branch-direction fidelity bits. *)
-  check ti "no mispredict table" 0 (Hashtbl.length r.profile.Perfmon.Lbr.mispredicts);
-  Hashtbl.iter
+  check ti "no mispredict table" 0 (Support.Itab.length r.profile.Perfmon.Lbr.mispredicts);
+  Support.Itab.iter
     (fun _ w -> check tb "branch weight positive" true (w > 0))
     r.profile.Perfmon.Lbr.branches;
-  Hashtbl.iter
+  Support.Itab.iter
     (fun _ w -> check tb "range weight positive" true (w > 0))
     r.profile.Perfmon.Lbr.ranges
 
@@ -384,8 +385,8 @@ let test_autofdo_synthesis_sane () =
   let p = Propeller.Autofdo.synthesize ~samples ~program ~binary () in
   (* num_records equals the total emitted weight mass. *)
   let mass =
-    Hashtbl.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.branches 0
-    + Hashtbl.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.ranges 0
+    Support.Itab.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.branches 0
+    + Support.Itab.fold (fun _ w acc -> acc + w) p.Perfmon.Lbr.ranges 0
   in
   check ti "num_records = emitted mass" mass p.Perfmon.Lbr.num_records;
   check ti "num_samples preserved" samples.Perfmon.Sampler.num_samples
@@ -397,8 +398,8 @@ let test_autofdo_synthesis_sane () =
     (Hashtbl.length dcfg.Propeller.Dcfg.call_arcs > 0);
   Hashtbl.iter
     (fun _ (f : Propeller.Dcfg.dfunc) ->
-      Hashtbl.iter
-        (fun _ w -> check tb "dcfg edge weight positive" true (!w > 0))
+      Support.Itab.iter
+        (fun _ w -> check tb "dcfg edge weight positive" true (w > 0))
         f.Propeller.Dcfg.dedges)
     dcfg.Propeller.Dcfg.funcs
 

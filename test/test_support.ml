@@ -174,6 +174,44 @@ let test_digest_concat_order () =
   check tb "order matters" false
     (Support.Digesting.equal (Support.Digesting.concat [ a; b ]) (Support.Digesting.concat [ b; a ]))
 
+(* Int64 reference for the FNV-1a streams in Support.Digesting. The
+   production loop runs in 32-bit halves on native ints (the boxed
+   Int64 version dominated warm-relink allocation); digest hex feeds
+   cache keys and fault plans, so it must stay bit-identical to this
+   original formulation. *)
+let fnv64_ref ~offset s =
+  let h = ref offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let digest_hex_ref s =
+  Printf.sprintf "%016Lx%016Lx"
+    (fnv64_ref ~offset:0xCBF29CE484222325L s)
+    (fnv64_ref ~offset:0x84222325CBF29CE4L (s ^ "\x01"))
+
+let test_digest_int64_reference () =
+  let cases = ref [ ""; "a"; "abc"; "layout-v1|main|fw=1024"; String.make 5000 '\xff' ] in
+  for i = 0 to 60 do
+    cases :=
+      String.init (i * 7 mod 300) (fun j -> Char.chr ((i * 31 + j * 17) mod 256)) :: !cases
+  done;
+  List.iter
+    (fun s ->
+      check ts "hex matches Int64 FNV-1a reference" (digest_hex_ref s)
+        (Support.Digesting.to_hex (Support.Digesting.of_string s)))
+    !cases
+
+let digest_reference_law =
+  QCheck.Test.make ~count:500 ~name:"digesting: 32-bit-half FNV == Int64 FNV-1a"
+    QCheck.(string_of_size Gen.(0 -- 512))
+    (fun s ->
+      String.equal (digest_hex_ref s)
+        (Support.Digesting.to_hex (Support.Digesting.of_string s)))
+
 let test_stats () =
   check tf "mean" 2.0 (Support.Stats.mean [ 1.0; 2.0; 3.0 ]);
   check tf "sum" 6.0 (Support.Stats.sum [ 1.0; 2.0; 3.0 ]);
@@ -214,6 +252,44 @@ let test_stats_median () =
   (* Median is robust to one huge outlier; mean is not. *)
   check tf "outlier robust" 2.0 (Support.Stats.median [ 1.0; 2.0; 1.0e9 ])
 
+(* --- Packed keys (ISSUE 9) ---------------------------------------- *)
+
+(* The packed key must round-trip every address pair up to the maximum
+   text-segment size, and its natural int order must agree with the
+   lexicographic pair order the tuple keys had. *)
+let packed_roundtrip_law =
+  QCheck.Test.make ~count:1000 ~name:"packed (src, dst) key round-trips"
+    QCheck.(
+      pair (int_range 0 Support.Packed.max_addr) (int_range 0 Support.Packed.max_addr))
+    (fun (src, dst) ->
+      let key = Support.Packed.pack ~src ~dst in
+      key >= 0 && Support.Packed.src key = src && Support.Packed.dst key = dst)
+
+let packed_order_law =
+  QCheck.Test.make ~count:1000 ~name:"packed key order = lexicographic pair order"
+    QCheck.(
+      quad
+        (int_range 0 Support.Packed.max_addr)
+        (int_range 0 Support.Packed.max_addr)
+        (int_range 0 Support.Packed.max_addr)
+        (int_range 0 Support.Packed.max_addr))
+    (fun (s1, d1, s2, d2) ->
+      compare (Support.Packed.pack ~src:s1 ~dst:d1) (Support.Packed.pack ~src:s2 ~dst:d2)
+      = compare (s1, d1) (s2, d2))
+
+let test_packed_bounds () =
+  check ti "max_addr round-trips" Support.Packed.max_addr
+    (Support.Packed.src
+       (Support.Packed.pack ~src:Support.Packed.max_addr ~dst:Support.Packed.max_addr));
+  let rejects name f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "negative src" (fun () -> Support.Packed.pack ~src:(-1) ~dst:0);
+  rejects "oversized dst" (fun () ->
+      Support.Packed.pack ~src:0 ~dst:(Support.Packed.max_addr + 1))
+
 let suite =
   [
     Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
@@ -234,8 +310,13 @@ let suite =
     Alcotest.test_case "digest: stable" `Quick test_digest_stable;
     Alcotest.test_case "digest: distinct" `Quick test_digest_distinct;
     Alcotest.test_case "digest: concat order" `Quick test_digest_concat_order;
+    Alcotest.test_case "digest: Int64 reference identity" `Quick test_digest_int64_reference;
+    QCheck_alcotest.to_alcotest digest_reference_law;
     Alcotest.test_case "stats: basics" `Quick test_stats;
     Alcotest.test_case "stats: geomean" `Quick test_stats_geomean;
     Alcotest.test_case "stats: stddev" `Quick test_stats_stddev;
     Alcotest.test_case "stats: median" `Quick test_stats_median;
+    Alcotest.test_case "packed: bounds" `Quick test_packed_bounds;
+    QCheck_alcotest.to_alcotest packed_roundtrip_law;
+    QCheck_alcotest.to_alcotest packed_order_law;
   ]
