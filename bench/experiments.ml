@@ -640,3 +640,45 @@ let ablation_clusters () =
   Report.print_table
     ~header:[ "Variant"; "object bytes"; "input sections"; "link peak mem"; "eh_frame" ]
     [ row "clusters (Propeller)" clustered; row "all bb sections" exploded ]
+
+(* ------------------------------------------------------------------ *)
+(* Layout-policy tournament: cycle-fitness search vs Ext-TSP            *)
+(* (AI-PROPELLER setup from PAPERS.md), per progen shape.               *)
+
+let layout_search () =
+  Report.print_title
+    "Layout search: cycle-fitness policy tournament vs Ext-TSP (per progen shape)";
+  let shapes = [ "505.mcf"; "548.exchange2"; "531.deepsjeng" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let spec =
+          { (Option.get (Progen.Suite.by_name name)) with Progen.Spec.requests = 40 }
+        in
+        let program = Progen.Generate.program spec in
+        let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) () in
+        let res =
+          Diagnostics.Lsearch.analyze
+            ~pipeline:(Workbench.pipeline_config spec)
+            ~core:(Workbench.core_config spec)
+            ~requests:spec.requests ~budget:14
+            ~seed:(Int64.to_int spec.seed land 0xffff)
+            ~ctx ~program ~name:spec.name ()
+        in
+        [
+          spec.name;
+          Printf.sprintf "%.3e" res.exttsp_cycles;
+          res.winner_policy;
+          Printf.sprintf "%.3e" res.winner_cycles;
+          Report.pct2 res.win_vs_exttsp_pct;
+          Printf.sprintf "%d/%d" res.discordant_pairs res.comparable_pairs;
+          Printf.sprintf "%.2f" res.proxy_agreement;
+        ])
+      shapes
+  in
+  Report.print_table
+    ~header:
+      [
+        "Shape"; "ext-tsp cycles"; "winner"; "winner cycles"; "win"; "discordant"; "agreement";
+      ]
+    rows

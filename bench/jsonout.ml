@@ -32,8 +32,15 @@
    fast-path kernels (packed-key LBR bump, flat Ext-TSP scoring, batch
    address resolution), so a selfspeed move is attributable to the
    kernel that caused it. Wall-clock, so NOT byte-stable; informational
-   only: Compare's judged allowlist ignores it. *)
-let schema_version = 8
+   only: Compare's judged allowlist ignores it.
+   v9: per-benchmark "layout_search" object — the cycle-fitness layout
+   policy tournament (ISSUE 10): every registered policy plus mutated
+   Ext-TSP variants are relinked and executed through exec+uarch, and
+   the object records the winner, its cycles vs the Ext-TSP candidate,
+   and the measured Ext-TSP-score-vs-cycles disagreement. Simulated
+   clocks only, fully deterministic. Informational only: Compare's
+   judged allowlist ignores it. *)
+let schema_version = 9
 
 let counters_json (c : Uarch.Core.counters) =
   Obs.Json.Obj
@@ -301,6 +308,24 @@ let fidelity_json (spec : Progen.Spec.t) =
   in
   Diagnostics.Fidelity.to_json fid
 
+(* The layout-policy tournament: a small budget is enough to cover
+   every registered policy (round 0) plus two mutation rounds. Seeded,
+   simulated clocks only — byte-stable. *)
+let layout_search_budget = 14
+
+let layout_search_json (spec : Progen.Spec.t) =
+  let program = Progen.Generate.program spec in
+  let ctx = Support.Ctx.create ~recorder:(Obs.Recorder.create ()) () in
+  let res =
+    Diagnostics.Lsearch.analyze
+      ~pipeline:(Workbench.pipeline_config spec)
+      ~core:(Workbench.core_config spec)
+      ~requests:spec.requests ~budget:layout_search_budget
+      ~seed:(Int64.to_int spec.seed land 0xffff)
+      ~ctx ~program ~name:spec.name ()
+  in
+  Diagnostics.Lsearch.to_json res
+
 let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
   let wb = Workbench.get spec in
   let prop_pct = Workbench.improvement_pct wb Workbench.Prop in
@@ -343,6 +368,7 @@ let benchmark_json ?(jobs_sweep = []) (spec : Progen.Spec.t) =
         ("selfspeed", selfspeed_json spec);
         ("fleet", fleet_json spec);
         ("fidelity", fidelity_json spec);
+        ("layout_search", layout_search_json spec);
       ]
       @
       match parallel_json spec ~jobs_sweep with

@@ -3,8 +3,8 @@
 
    Usage: main.exe [options] [experiment ...]
    Experiments: table2 table3 table5 fig4 fig5 fig6 fig7 fig8 fig9 spec
-                ablation_split ablation_inter ablation_clusters micro
-                quick all (default: all)
+                ablation_split ablation_inter ablation_clusters
+                layout_search micro quick all (default: all)
 
    Options:
      --json-out FILE       also write a machine-readable BENCH_*.json
@@ -33,6 +33,7 @@ let experiments =
     ("ablation_prefetch", Experiments.ablation_prefetch);
     ("ablation_inter", Experiments.ablation_inter);
     ("ablation_clusters", Experiments.ablation_clusters);
+    ("layout_search", Experiments.layout_search);
     ("micro", Micro.run);
   ]
 

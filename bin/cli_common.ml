@@ -100,6 +100,24 @@ let profile_source_term =
            paper's path) or $(b,sampled) (portable software stack sampler; CFG edge \
            weights are synthesized AutoFDO-style, no mispredict bits).")
 
+(* String-valued on purpose: Wpa.config stores the policy name and
+   resolves it against the registry at use, and the registry is the
+   single source of truth for what is valid. *)
+let layout_policy_conv =
+  enum_conv ~what:"layout policy" (List.map (fun n -> (n, n)) (Layout.Policy.names ()))
+
+let layout_policy_term =
+  Arg.(
+    value
+    & opt layout_policy_conv "exttsp"
+    & info [ "layout-policy" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Block-layout policy for WPA. Valid values: %s. The default $(b,exttsp) is the \
+              paper's Ext-TSP; the others are the pluggable alternatives the layout-search \
+              harness tournaments over."
+             (String.concat ", " (Layout.Policy.names ()))))
+
 let benchmark_term =
   Arg.(value & opt string "505.mcf" & info [ "b"; "benchmark" ] ~doc:"Benchmark name (Table 2).")
 

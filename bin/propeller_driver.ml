@@ -6,8 +6,8 @@
 
 open Cmdliner
 
-let run benchmark requests profile_source interproc no_split hugepages prefetch jobs seed
-    faults verbose trace_file metrics metrics_out self_profile self_profile_out =
+let run benchmark requests profile_source layout_policy interproc no_split hugepages prefetch
+    jobs seed faults verbose trace_file metrics metrics_out self_profile self_profile_out =
   let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
   Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
@@ -28,6 +28,7 @@ let run benchmark requests profile_source interproc no_split hugepages prefetch 
         {
           Propeller.Wpa.default_config with
           mode = (if interproc then Propeller.Wpa.Interproc else Propeller.Wpa.Intra);
+          layout_policy;
           split_functions = not no_split;
         };
     }
@@ -121,7 +122,7 @@ let cmd =
     (Cmd.info "propeller_driver" ~doc:"Profile guided, relinking optimizer (end to end)")
     Term.(
       const run $ Cli_common.benchmark_term $ Cli_common.requests_term
-      $ Cli_common.profile_source_term $ interproc $ no_split
+      $ Cli_common.profile_source_term $ Cli_common.layout_policy_term $ interproc $ no_split
       $ hugepages $ prefetch $ Cli_common.jobs_term $ Cli_common.seed_term
       $ Cli_common.faults_term $ verbose $ Cli_common.trace_term $ metrics
       $ Cli_common.metrics_out_term $ Cli_common.self_profile_term

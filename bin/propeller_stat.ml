@@ -32,8 +32,8 @@ let measure ~(spec : Progen.Spec.t) ~ctx ~run_name program binary =
   Uarch.Core.publish ~ctx ~name:run_name core;
   Uarch.Core.counters core
 
-let run_stat benchmark requests profile_source jobs seed faults json out trace metrics_out
-    self_profile self_profile_out =
+let run_stat benchmark requests profile_source layout_policy jobs seed faults json out trace
+    metrics_out self_profile self_profile_out =
   let ctx = Cli_common.context ~jobs ~seed ~faults ~self_profile ~self_profile_out () in
   Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
   let spec = Cli_common.lookup_spec ~benchmark ~requests in
@@ -48,6 +48,7 @@ let run_stat benchmark requests profile_source jobs seed faults json out trace m
         profile_run = { Exec.Interp.default_config with requests = spec.requests };
         hugepages = spec.hugepages;
         profile_source;
+        wpa = { Propeller.Wpa.default_config with layout_policy };
       }
     in
     let result = Propeller.Pipeline.run ~config ~env ~program ~name:spec.name () in
@@ -220,6 +221,53 @@ let run_fidelity benchmark requests jobs seed faults json out =
     Printf.printf "fidelity: %s\n" file
   | None -> print_string rendered
 
+(* [search]: the cycle-fitness layout-policy tournament — candidates are
+   relinked and executed through exec+uarch, fitness is simulated
+   cycles, the report quantifies where the Ext-TSP objective and the
+   machine disagree. *)
+let run_search benchmark requests budget search_seed jobs json out trace metrics_out =
+  let ctx = Cli_common.context ~jobs () in
+  Cli_common.with_flight_guard ctx.Support.Ctx.recorder @@ fun () ->
+  let spec = Cli_common.lookup_spec ~benchmark ~requests in
+  if not json then
+    Printf.printf "searching layout policies on %s (budget %d)...\n%!" spec.name budget;
+  let program = Progen.Generate.program spec in
+  let pipeline =
+    {
+      Propeller.Pipeline.default_config with
+      profile_run = { Exec.Interp.default_config with requests = spec.requests };
+      hugepages = spec.hugepages;
+    }
+  in
+  let core =
+    {
+      Uarch.Core.default_config with
+      hugepages = spec.hugepages;
+      page_scale_bits = log2i spec.scale;
+    }
+  in
+  let res =
+    Diagnostics.Lsearch.analyze ~pipeline ~core ~requests:spec.requests ~budget
+      ~seed:search_seed ~ctx ~program ~name:spec.name ()
+  in
+  let rendered =
+    if json then begin
+      let s = Obs.Json.to_string (Diagnostics.Lsearch.to_json res) ^ "\n" in
+      match Obs.Json.parse s with
+      | Ok _ -> s
+      | Error e ->
+        Printf.eprintf "internal error: search JSON does not parse: %s\n" e;
+        exit 1
+    end
+    else Diagnostics.Lsearch.to_text res
+  in
+  (match out with
+  | Some file ->
+    Cli_common.write_file file rendered;
+    Printf.printf "search: %s\n" file
+  | None -> print_string rendered);
+  Cli_common.export_recorder ctx.Support.Ctx.recorder ~trace ~metrics_out
+
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the diagnostics record as JSON.")
 
 let out =
@@ -231,7 +279,7 @@ let out =
 let run_term =
   Term.(
     const run_stat $ Cli_common.benchmark_term $ Cli_common.requests_term
-    $ Cli_common.profile_source_term $ Cli_common.jobs_term
+    $ Cli_common.profile_source_term $ Cli_common.layout_policy_term $ Cli_common.jobs_term
     $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out $ Cli_common.trace_term
     $ Cli_common.metrics_out_term $ Cli_common.self_profile_term
     $ Cli_common.self_profile_out_term)
@@ -305,10 +353,36 @@ let fidelity_cmd =
       const run_fidelity $ Cli_common.benchmark_term $ Cli_common.requests_term
       $ Cli_common.jobs_term $ Cli_common.seed_term $ Cli_common.faults_term $ json $ out)
 
+let budget_arg =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Evaluation budget: how many candidate layouts are relinked and executed.")
+
+let search_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "search-seed" ] ~docv:"N"
+        ~doc:"Tournament seed; the same budget and seed reproduce the same winner.")
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Tournament-search layout policies with simulated cycles as fitness: each candidate \
+          is relinked and executed through the uarch model, and the report quantifies the \
+          Ext-TSP-score-vs-cycles gap.")
+    Term.(
+      const run_search $ Cli_common.benchmark_term $ Cli_common.requests_term $ budget_arg
+      $ search_seed_arg $ Cli_common.jobs_term $ json $ out $ Cli_common.trace_term
+      $ Cli_common.metrics_out_term)
+
 let cmd =
   Cmd.group ~default:run_term
     (Cmd.info "propeller_stat"
        ~doc:"Profile-quality diagnostics and bench regression comparison")
-    [ run_cmd; diff_cmd; top_cmd; fidelity_cmd ]
+    [ run_cmd; diff_cmd; top_cmd; fidelity_cmd; search_cmd ]
 
 let () = exit (Cmd.eval cmd)

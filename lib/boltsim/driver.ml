@@ -42,12 +42,12 @@ let optimize ?(options = perf_options) ~profile ~(binary : Linker.Binary.t) ~is_
           None
         end
         else begin
-          let hot_order, _score =
-            if options.reorder_blocks then Propeller.Wpa.block_layout dcfg d
-            else
-              ( (let bbs = Hashtbl.fold (fun bb _ acc -> bb :: acc) d.dblocks [] in
-                 List.sort_uniq compare (0 :: bbs)),
-                0.0 )
+          let hot_order =
+            if options.reorder_blocks then (Propeller.Wpa.block_layout dcfg d).blocks
+            else begin
+              let bbs = Hashtbl.fold (fun bb _ acc -> bb :: acc) d.dblocks [] in
+              List.sort_uniq compare (0 :: bbs)
+            end
           in
           (* All blocks the binary has for this function. *)
           let all = ref [] in
@@ -85,7 +85,8 @@ let optimize ?(options = perf_options) ~profile ~(binary : Linker.Binary.t) ~is_
                | Some ai, Some bi -> Some (ai, bi, w)
                | None, _ | _, None -> None)
       in
-      Layout.Hfsort.order ~sizes:fsizes ~samples:fsamples ~arcs ()
+      Layout.Hfsort.order
+        (Layout.Problem.make ~sizes:fsizes ~weights:fsamples ~edges:arcs ~entry:0)
       |> List.map (fun i -> names.(i))
     end
     else List.map (fun (f, _, _) -> f) plans

@@ -19,7 +19,7 @@ let intra_order ~use_pgo (f : Ir.Func.t) =
     let sizes = Array.init n (fun i -> Lower.block_code_bytes (Ir.Func.block f i)) in
     let weights = Ir.Cfg.estimate_frequencies ~use_pgo:true f in
     let edges = Ir.Cfg.edge_frequencies ~freqs:weights ~use_pgo:true f in
-    Layout.Exttsp.order ~sizes ~weights ~edges ~entry:0 ()
+    Layout.Exttsp.order (Layout.Problem.make ~sizes ~weights ~edges ~entry:0)
   end
 
 (* Call frame information model (paper §4.4): one 32-byte CIE per

@@ -59,7 +59,8 @@ let score_func params (final : Linker.Binary.t) (d : Propeller.Dcfg.dfunc) =
     (* Deterministic scoring input: dedges iteration order is arbitrary. *)
     let edges = List.sort compare !edges in
     let order = List.init n Fun.id in
-    let score = Layout.Exttsp.score ~params ~sizes ~edges ~order () in
+    let problem = Layout.Problem.make ~sizes ~weights:(Array.make n 0.0) ~edges ~entry:0 in
+    let score = Layout.Exttsp.score ~params ~order problem in
     (score, !edge_weight, !fall_through, !missing, n)
 
 let analyze ?(params = Layout.Exttsp.default_params) ~(dcfg : Propeller.Dcfg.t)

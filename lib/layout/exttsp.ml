@@ -37,12 +37,14 @@ let edge_gain p w dist =
     p.backward_weight *. w *. (1.0 -. (float_of_int (-dist) /. float_of_int p.backward_window))
   else 0.0
 
-(* Edge bundles: flat (src, dst, w) parallel arrays in a fixed order.
-   Scoring folds a bundle left to right, so element order is the float
-   accumulation order — every construction below mirrors the historical
-   list order exactly (a bundle is the list it replaces, element for
-   element), keeping scores bit-identical. *)
-type ebundle = { esrc : int array; edst : int array; ew : float array }
+(* Edge bundles: flat (src, dst, w) parallel arrays in a fixed order —
+   the problem's cached {!Problem.flat} form, and the same shape for the
+   merge machinery's intermediate sets. Scoring folds a bundle left to
+   right, so element order is the float accumulation order — every
+   construction below mirrors the historical list order exactly (a
+   bundle is the list it replaces, element for element), keeping scores
+   bit-identical. *)
+type ebundle = Problem.flat = { esrc : int array; edst : int array; ew : float array }
 
 let ebundle_empty = { esrc = [||]; edst = [||]; ew = [||] }
 
@@ -123,6 +125,8 @@ let make_scratch n =
     abuf = Array.make n 0;
   }
 
+let scratch = make_scratch
+
 (* Score the first [len] nodes of [arr] (ids in layout order) against
    the bundle; edges with an endpoint outside contribute 0. Index loops
    with the exact left-to-right accumulation order of the historical
@@ -151,49 +155,17 @@ let score_arrangement p scratch sizes arr len (e : ebundle) =
   done;
   !acc
 
-(* Accumulate duplicate pairs (input order, so float sums are stable)
-   and emit a bundle sorted by (src, dst) — the historical sorted-list
-   order. Packed keys keep the table allocation-free per edge. *)
-let dedupe_edges edges =
-  let tbl : (int, float) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun (src, dst, w) ->
-      if src <> dst && w > 0.0 then begin
-        let key = Support.Packed.pack ~src ~dst in
-        match Hashtbl.find_opt tbl key with
-        | Some w0 -> Hashtbl.replace tbl key (w0 +. w)
-        | None -> Hashtbl.add tbl key w
-      end)
-    edges;
-  let n = Hashtbl.length tbl in
-  let keys = Array.make n 0 in
-  let i = ref 0 in
-  Hashtbl.iter
-    (fun k _ ->
-      keys.(!i) <- k;
-      incr i)
-    tbl;
-  Array.sort compare keys;
-  (* Packed keys sort exactly like (src, dst) pairs. *)
-  let esrc = Array.make n 0 and edst = Array.make n 0 and ew = Array.make n 0.0 in
-  for j = 0 to n - 1 do
-    let k = keys.(j) in
-    esrc.(j) <- Support.Packed.src k;
-    edst.(j) <- Support.Packed.dst k;
-    ew.(j) <- Hashtbl.find tbl k
-  done;
-  { esrc; edst; ew }
+let score_into ?(params = default_params) scratch (p : Problem.t) arr =
+  score_arrangement params scratch p.sizes arr (Array.length arr) (Problem.flat p)
 
-let score ?(params = default_params) ~sizes ~edges ~order () =
+let score ?(params = default_params) ~order (p : Problem.t) =
   let arr = Array.of_list order in
-  let scratch = make_scratch (Array.length sizes) in
-  score_arrangement params scratch sizes arr (Array.length arr) (dedupe_edges edges)
+  let scratch = make_scratch (Array.length p.sizes) in
+  score_arrangement params scratch p.sizes arr (Array.length arr) (Problem.flat p)
 
-let score_norm ?(params = default_params) ~sizes ~edges ~order () =
-  let total =
-    List.fold_left (fun acc (src, dst, w) -> if src <> dst then acc +. w else acc) 0.0 edges
-  in
-  if total <= 0.0 then 0.0 else score ~params ~sizes ~edges ~order () /. total
+let score_norm ?(params = default_params) ~order (p : Problem.t) =
+  let total = Problem.total_weight p in
+  if total <= 0.0 then 0.0 else score ~params ~order p /. total
 
 (* Evaluate the best way to merge chains [a] and [b]. Returns
    (gain, merged node array, merged score) for the best arrangement that
@@ -256,13 +228,14 @@ let best_merge p scratch sizes entry a b cross =
     else None
   end
 
-let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
+let order ?(params = default_params) (problem : Problem.t) =
   let merge_count = merge_count () in
   merge_count := 0;
+  let sizes = problem.sizes and weights = problem.weights and entry = problem.entry in
   let n = Array.length sizes in
   if n = 0 then []
   else begin
-    let edges = dedupe_edges edges in
+    let edges = Problem.flat problem in
     let scratch = make_scratch n in
     (* Chain state. [chains] maps live chain ids to chains; merging
        allocates a fresh id so stale pqueue entries are detectable. *)
@@ -435,19 +408,9 @@ let order ?(params = default_params) ~sizes ~weights ~edges ~entry () =
     List.concat_map (fun c -> Array.to_list c.nodes) sorted
   end
 
-type instance = {
-  sizes : int array;
-  weights : float array;
-  edges : (int * int * float) list;
-  entry : int;
-}
-
-let order_batch ?(params = default_params) ~pool instances =
-  Support.Pool.map_array pool (Array.length instances) (fun i ->
-      let inst = instances.(i) in
-      let o =
-        order ~params ~sizes:inst.sizes ~weights:inst.weights ~edges:inst.edges
-          ~entry:inst.entry ()
-      in
-      let s = score ~params ~sizes:inst.sizes ~edges:inst.edges ~order:o () in
+let order_batch ?(params = default_params) ~pool problems =
+  Support.Pool.map_array pool (Array.length problems) (fun i ->
+      let p = problems.(i) in
+      let o = order ~params p in
+      let s = score ~params ~order:o p in
       (o, s))

@@ -9,8 +9,8 @@
     by gain instead of being rescanned linearly. Both strategies are
     implemented; the bench compares them ([ablation_inter]).
 
-    Nodes are integers [0 .. n-1]. The produced order is a permutation
-    with the entry node first. *)
+    Takes a {!Problem.t}; the produced order is a permutation of
+    [0 .. n-1] with the problem's entry node first. *)
 
 type params = {
   forward_window : int;  (** Max rewarded forward-jump distance (bytes). *)
@@ -29,56 +29,47 @@ type params = {
 
 val default_params : params
 
-(** [order ?params ~sizes ~weights ~edges ~entry ()] computes a layout.
+(** [order ?params problem] computes a layout: a permutation of
+    [0 .. n-1] with [problem.entry] first. *)
+val order : ?params:params -> Problem.t -> int list
 
-    - [sizes.(i)]: code bytes of node [i];
-    - [weights.(i)]: execution count of node [i] (used to order the final
-      chains by hotness density);
-    - [edges]: [(src, dst, weight)] branch/fall-through frequencies;
-      duplicate pairs are accumulated; self-edges are ignored;
-    - [entry]: node pinned to the front of the layout.
+(** [score ?params ~order problem] evaluates the Ext-TSP objective of a
+    given layout (higher is better), over the problem's cached flat
+    edges. *)
+val score : ?params:params -> order:int list -> Problem.t -> float
 
-    Returns a permutation of [0 .. n-1]. *)
-val order :
-  ?params:params ->
-  sizes:int array ->
-  weights:float array ->
-  edges:(int * int * float) list ->
-  entry:int ->
-  unit ->
-  int list
+(** [score_norm ?params ~order problem] is {!score} divided by the total
+    (non-self) edge weight — a layout-quality figure in
+    [0, fallthrough_weight] that is comparable across programs of
+    different sizes and sample counts. 1.0 means every observed transfer
+    is a rewarded fall-through; 0 when no edges carry weight. *)
+val score_norm : ?params:params -> order:int list -> Problem.t -> float
 
-(** [score ?params ~sizes ~edges ~order ()] evaluates the Ext-TSP
-    objective of a given layout (higher is better). *)
-val score :
-  ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
+(** Reusable scoring scratch for layouts held as arrays: position maps
+    sized for [n] nodes, so search loops that score hundreds of
+    candidate arrangements of one problem allocate nothing per
+    evaluation. *)
+type scratch
 
-(** [score_norm ...] is {!score} divided by the total (non-self) edge
-    weight — a layout-quality figure in [0, fallthrough_weight] that is
-    comparable across programs of different sizes and sample counts.
-    1.0 means every observed transfer is a rewarded fall-through; 0 when
-    no edges carry weight. *)
-val score_norm :
-  ?params:params -> sizes:int array -> edges:(int * int * float) list -> order:int list -> unit -> float
+(** [scratch n] makes scoring scratch for problems of up to [n] nodes. *)
+val scratch : int -> scratch
+
+(** [score_into ?params scratch problem arr] scores the arrangement
+    [arr] (all of it) against the problem's flat edges, reusing
+    [scratch]. Equivalent to {!score} with [order = Array.to_list arr]
+    but allocation-free. *)
+val score_into : ?params:params -> scratch -> Problem.t -> int array -> float
 
 (** Number of chain merges performed by the last {!order} call on this
     domain; exposed for the benches' work accounting. The counter is
     domain-local, so concurrent {!order_batch} tasks don't race. *)
 val last_merge_count : unit -> int
 
-(** One per-function reordering problem, for the batch entry point. *)
-type instance = {
-  sizes : int array;
-  weights : float array;
-  edges : (int * int * float) list;
-  entry : int;
-}
-
-(** [order_batch ?params ~pool instances] solves every instance across
-    the domain pool and returns [(order, score)] per instance, in input
-    order. Each instance is computed exactly as {!order} + {!score}
+(** [order_batch ?params ~pool problems] solves every problem across
+    the domain pool and returns [(order, score)] per problem, in input
+    order. Each problem is computed exactly as {!order} + {!score}
     would sequentially, and results commit in index order, so the
     output is identical for any pool width (the §3.4 sharding
     contract). *)
 val order_batch :
-  ?params:params -> pool:Support.Pool.t -> instance array -> (int list * float) array
+  ?params:params -> pool:Support.Pool.t -> Problem.t array -> (int list * float) array

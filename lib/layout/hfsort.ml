@@ -5,7 +5,8 @@ type cluster = {
   mutable frozen : bool;
 }
 
-let order ~sizes ~samples ~arcs ?(max_cluster_size = 1 lsl 20) () =
+let order ?(max_cluster_size = 1 lsl 20) (problem : Problem.t) =
+  let sizes = problem.sizes and samples = problem.weights and arcs = problem.edges in
   let n = Array.length sizes in
   let clusters = Array.init n (fun i -> { funcs = [ i ]; size = sizes.(i); samples = samples.(i); frozen = false }) in
   let cluster_of = Array.init n (fun i -> i) in

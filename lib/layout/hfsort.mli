@@ -4,20 +4,15 @@
     Functions are greedily appended to the cluster of their hottest
     caller, subject to a cluster-size cap that preserves locality; final
     clusters are emitted in decreasing hotness density. Nodes are
-    integers [0 .. n-1]. *)
+    integers [0 .. n-1].
 
-(** [order ~sizes ~samples ~arcs ?max_cluster_size ()] returns a
-    permutation of [0 .. n-1].
+    Takes the same {!Problem.t} as the block-level policies: [sizes] are
+    code bytes, [weights] are profile samples per function, [edges] are
+    [(caller, callee, weight)] call arcs. The problem's [entry] is
+    ignored — function ordering has no pinned entry (the block-level
+    [callchain] policy in {!Policy} adds the pin). *)
 
-    - [sizes.(i)]: code bytes of function [i];
-    - [samples.(i)]: profile samples attributed to function [i];
-    - [arcs]: [(caller, callee, weight)] call frequencies;
-    - [max_cluster_size]: byte cap beyond which clusters stop growing
-      (default 1 MiB). *)
-val order :
-  sizes:int array ->
-  samples:float array ->
-  arcs:(int * int * float) list ->
-  ?max_cluster_size:int ->
-  unit ->
-  int list
+(** [order ?max_cluster_size problem] returns a permutation of
+    [0 .. n-1]. [max_cluster_size] is the byte cap beyond which clusters
+    stop growing (default 1 MiB). *)
+val order : ?max_cluster_size:int -> Problem.t -> int list

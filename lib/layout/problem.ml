@@ -1,0 +1,66 @@
+type flat = { esrc : int array; edst : int array; ew : float array }
+
+type t = {
+  sizes : int array;
+  weights : float array;
+  edges : (int * int * float) list;
+  entry : int;
+  mutable flat_cache : flat option;
+  mutable total_cache : float option;
+}
+
+let make ~sizes ~weights ~edges ~entry =
+  { sizes; weights; edges; entry; flat_cache = None; total_cache = None }
+
+let size t = Array.length t.sizes
+
+(* Accumulate duplicate pairs (input order, so float sums are stable)
+   and emit a bundle sorted by (src, dst) — the historical sorted-list
+   order of [Exttsp.dedupe_edges]. Packed keys keep the table
+   allocation-free per edge and sort exactly like (src, dst) pairs. *)
+let dedupe edges =
+  let tbl : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (src, dst, w) ->
+      if src <> dst && w > 0.0 then begin
+        let key = Support.Packed.pack ~src ~dst in
+        match Hashtbl.find_opt tbl key with
+        | Some w0 -> Hashtbl.replace tbl key (w0 +. w)
+        | None -> Hashtbl.add tbl key w
+      end)
+    edges;
+  let n = Hashtbl.length tbl in
+  let keys = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    tbl;
+  Array.sort compare keys;
+  let esrc = Array.make n 0 and edst = Array.make n 0 and ew = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    let k = keys.(j) in
+    esrc.(j) <- Support.Packed.src k;
+    edst.(j) <- Support.Packed.dst k;
+    ew.(j) <- Hashtbl.find tbl k
+  done;
+  { esrc; edst; ew }
+
+let flat t =
+  match t.flat_cache with
+  | Some f -> f
+  | None ->
+    let f = dedupe t.edges in
+    t.flat_cache <- Some f;
+    f
+
+let total_weight t =
+  match t.total_cache with
+  | Some w -> w
+  | None ->
+    let w =
+      List.fold_left (fun acc (src, dst, w) -> if src <> dst then acc +. w else acc) 0.0 t.edges
+    in
+    t.total_cache <- Some w;
+    w

@@ -5,7 +5,8 @@ type result = {
   global_nodes : int;
 }
 
-let layout ~params ~(dcfg : Dcfg.t) ~split_threshold ~entry_func =
+let layout ~(policy : Layout.Policy.t) ~(params : Layout.Policy.params) ~(dcfg : Dcfg.t)
+    ~split_threshold ~entry_func =
   let hot = Dcfg.hot_funcs dcfg in
   (* Global node universe: hot blocks of hot functions; entries always
      included. *)
@@ -63,8 +64,9 @@ let layout ~params ~(dcfg : Dcfg.t) ~split_threshold ~entry_func =
   in
   if n = 0 then { plans = []; ordering = []; score = 0.0; global_nodes = 0 }
   else begin
-    let order = Layout.Exttsp.order ~params ~sizes ~weights ~edges ~entry () in
-    let score = Layout.Exttsp.score ~params ~sizes ~edges ~order () in
+    let problem = Layout.Problem.make ~sizes ~weights ~edges ~entry in
+    let order = policy.order ~params problem in
+    let score = Layout.Exttsp.score ~params:params.exttsp ~order problem in
     (* Cut the global order into per-function runs; each run becomes a
        placed cluster. The run containing block 0 must *start* with it
        (the function symbol marks the cluster start), so it is split

@@ -12,7 +12,14 @@ type result = {
   global_nodes : int;  (** Size of the merged graph (cost driver). *)
 }
 
-(** [layout ~params ~dcfg ~split_threshold ~entry_func] computes the
-    global layout over blocks with count > [split_threshold]. *)
+(** [layout ~policy ~params ~dcfg ~split_threshold ~entry_func] computes
+    the global layout over blocks with count > [split_threshold], using
+    [policy] to order the merged graph. [result.score] is always the
+    Ext-TSP objective under [params.exttsp], whichever policy ran. *)
 val layout :
-  params:Layout.Exttsp.params -> dcfg:Dcfg.t -> split_threshold:int -> entry_func:string -> result
+  policy:Layout.Policy.t ->
+  params:Layout.Policy.params ->
+  dcfg:Dcfg.t ->
+  split_threshold:int ->
+  entry_func:string ->
+  result

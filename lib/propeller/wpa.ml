@@ -2,7 +2,8 @@ type mode = Intra | Interproc
 
 type config = {
   mode : mode;
-  exttsp : Layout.Exttsp.params;
+  layout_policy : string;
+  policy_params : Layout.Policy.params;
   split_threshold : int;
   hfsort_max_cluster : int;
   split_functions : bool;
@@ -11,11 +12,22 @@ type config = {
 let default_config =
   {
     mode = Intra;
-    exttsp = Layout.Exttsp.default_params;
+    layout_policy = "exttsp";
+    policy_params = Layout.Policy.default_params;
     split_threshold = 0;
     hfsort_max_cluster = 1 lsl 20;
     split_functions = true;
   }
+
+(* Resolve the configured policy name against the registry; an unknown
+   name is a configuration error, reported with the valid names. *)
+let resolve_policy name =
+  match Layout.Policy.find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown layout policy %S (registered: %s)" name
+         (String.concat ", " (Layout.Policy.names ())))
 
 (* The two profile regimes WPA can be driven by. An Lbr profile feeds
    Dcfg directly; a Sampled one is first synthesized into LBR shape
@@ -102,24 +114,25 @@ let layout_instance (dcfg : Dcfg.t) (d : Dcfg.dfunc) bb_arr
     |> List.sort compare
   in
   let entry = Hashtbl.find idx_of 0 in
-  (hot_arr, { Layout.Exttsp.sizes; weights; edges; entry })
+  (hot_arr, Layout.Problem.make ~sizes ~weights ~edges ~entry)
 
-(* Ext-TSP over one function's sampled blocks. Returns the hot block
-   order and the layout score; shared by Propeller's WPA and the BOLT
+type block_layout = { blocks : int list; score : float; policy : string }
+
+(* Layout over one function's sampled blocks under the named policy.
+   Returns the hot block order, the Ext-TSP score of that order and the
+   policy that produced it; shared by Propeller's WPA and the BOLT
    baseline (its cache+ algorithm is the same objective). *)
-let block_layout ?(params = Layout.Exttsp.default_params) ?(split_threshold = 0)
-    (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
+let block_layout ?(policy = "exttsp") ?(params = Layout.Policy.default_params)
+    ?(split_threshold = 0) (dcfg : Dcfg.t) (d : Dcfg.dfunc) =
+  let pol = resolve_policy policy in
   let bb_arr, counts = layout_prelude d in
   let part =
     Layout.Split.partition ~counts ~threshold:(float_of_int split_threshold) ()
   in
-  let hot_arr, inst = layout_instance dcfg d bb_arr part in
-  let order =
-    Layout.Exttsp.order ~params ~sizes:inst.sizes ~weights:inst.weights
-      ~edges:inst.edges ~entry:inst.entry ()
-  in
-  let score = Layout.Exttsp.score ~params ~sizes:inst.sizes ~edges:inst.edges ~order () in
-  (List.map (fun i -> hot_arr.(i)) order, score)
+  let hot_arr, problem = layout_instance dcfg d bb_arr part in
+  let order = pol.order ~params problem in
+  let score = Layout.Exttsp.score ~params:params.exttsp ~order problem in
+  { blocks = List.map (fun i -> hot_arr.(i)) order; score; policy }
 
 (* Wrap a hot-block order into the function's cluster directive; the
    cold remainder becomes the implicit .cold cluster in codegen. *)
@@ -152,11 +165,13 @@ let plan_of_order config (dcfg : Dcfg.t) (d : Dcfg.dfunc) ordered_bbs =
 (* Config half of the layout key, shared by every function of one
    analysis — rendered once, not per hot function. *)
 let layout_params_str config =
-  let p = config.exttsp in
-  Printf.sprintf "|fw=%d|bw=%d|ftw=%h|fww=%h|bww=%h|msc=%d|pq=%b|thr=%d|split=%b"
-    p.forward_window p.backward_window p.fallthrough_weight p.forward_weight
-    p.backward_weight p.max_split_chain p.use_pqueue config.split_threshold
-    config.split_functions
+  let pp = config.policy_params in
+  let p = pp.Layout.Policy.exttsp in
+  Printf.sprintf
+    "|policy=%s|fw=%d|bw=%d|ftw=%h|fww=%h|bww=%h|msc=%d|pq=%b|mcs=%d|seed=%d|rst=%d|steps=%d|thr=%d|split=%b"
+    config.layout_policy p.forward_window p.backward_window p.fallthrough_weight
+    p.forward_weight p.backward_weight p.max_split_chain p.use_pqueue pp.max_cluster_size
+    pp.seed pp.restarts pp.steps config.split_threshold config.split_functions
 
 (* Per-function "|b<bb>:<size>" block-shape segments from the address
    map, built in one pass over the block index (the per-function scan of
@@ -305,7 +320,8 @@ let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
             layout_instance dcfg funcs.(miss_idx.(j)) (fst preludes.(j)) parts.(j))
       in
       let solved =
-        Layout.Exttsp.order_batch ~params:config.exttsp ~pool
+        Layout.Policy.order_batch ~params:config.policy_params ~pool
+          (resolve_policy config.layout_policy)
           (Array.map snd hot_and_insts)
       in
       let computed =
@@ -362,8 +378,8 @@ let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
                | None, _ | _, None -> None)
       in
       let func_order =
-        Layout.Hfsort.order ~sizes:fsizes ~samples:fsamples ~arcs
-          ~max_cluster_size:config.hfsort_max_cluster ()
+        Layout.Hfsort.order ~max_cluster_size:config.hfsort_max_cluster
+          (Layout.Problem.make ~sizes:fsizes ~weights:fsamples ~edges:arcs ~entry:0)
       in
       let primaries = List.map (fun i -> hot_names.(i)) func_order in
       let colds =
@@ -372,7 +388,9 @@ let analyze ?(config = default_config) ?ctx ?layout_cache ~profile
       (plans, primaries @ colds)
     | Interproc ->
       let r =
-        Interproc.layout ~params:config.exttsp ~dcfg ~split_threshold:config.split_threshold
+        Interproc.layout
+          ~policy:(resolve_policy config.layout_policy)
+          ~params:config.policy_params ~dcfg ~split_threshold:config.split_threshold
           ~entry_func:binary.entry_symbol
       in
       score := r.score;

@@ -19,7 +19,11 @@ type mode =
 
 type config = {
   mode : mode;
-  exttsp : Layout.Exttsp.params;
+  layout_policy : string;
+      (** Registered {!Layout.Policy} name ordering blocks (default
+          ["exttsp"]); {!analyze} raises [Invalid_argument] on unknown
+          names. *)
+  policy_params : Layout.Policy.params;
   split_threshold : int;  (** Block counts <= threshold are cold. *)
   hfsort_max_cluster : int;
   split_functions : bool;  (** Emit [.cold] clusters at all (§4.6). *)
@@ -69,16 +73,21 @@ type result = {
           should count against [fault.degraded]. *)
 }
 
-(** [block_layout ?params ?split_threshold dcfg dfunc] computes the
-    Ext-TSP hot-block order of one function and its layout score;
-    shared with the BOLT baseline (same objective, different
-    delivery). *)
+(** One function's hot-block layout: the block order, its Ext-TSP
+    score, and the policy that produced it. *)
+type block_layout = { blocks : int list; score : float; policy : string }
+
+(** [block_layout ?policy ?params ?split_threshold dcfg dfunc] computes
+    the hot-block order of one function under the named layout policy
+    (default ["exttsp"]) and its Ext-TSP score; shared with the BOLT
+    baseline (same objective, different delivery). *)
 val block_layout :
-  ?params:Layout.Exttsp.params ->
+  ?policy:string ->
+  ?params:Layout.Policy.params ->
   ?split_threshold:int ->
   Dcfg.t ->
   Dcfg.dfunc ->
-  int list * float
+  block_layout
 
 (** [layout_params_str config] renders the configuration half of the
     layout key, shared by every function of one analysis. *)

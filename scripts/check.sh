@@ -220,6 +220,66 @@ for key in '"lbr"' '"sampled"' '"weight_correlation"' '"cycle_gap_pct"'; do
   }
 done
 
+echo "== layout policy smoke =="
+# Every registered policy must drive the full relink via --layout-policy
+# (ISSUE 10); keep this list in sync with Layout.Policy.names. The
+# default run must be byte-identical to an explicit --layout-policy
+# exttsp run (the policy API redesign may not move the default layout).
+for pol in exttsp exttsp-linear callchain greedy hillclimb local-search; do
+  dune exec bin/propeller_driver.exe -- \
+    --benchmark 505.mcf --requests 40 --layout-policy "$pol" \
+    >"$out_dir/policy_$pol.log" || {
+    echo "FAIL: --layout-policy $pol run failed" >&2
+    cat "$out_dir/policy_$pol.log" >&2
+    exit 1
+  }
+  grep -q '^image digest:' "$out_dir/policy_$pol.log" || {
+    echo "FAIL: --layout-policy $pol printed no image digest" >&2
+    exit 1
+  }
+done
+default_digest=$(grep '^image digest:' "$out_dir/driver_j1.log")
+exttsp_digest=$(grep '^image digest:' "$out_dir/policy_exttsp.log")
+if [ "$default_digest" != "$exttsp_digest" ]; then
+  echo "FAIL: --layout-policy exttsp diverges from the default run" >&2
+  echo "  default: $default_digest" >&2
+  echo "  exttsp:  $exttsp_digest" >&2
+  exit 1
+fi
+if dune exec bin/propeller_driver.exe -- \
+  --benchmark 505.mcf --requests 40 --layout-policy pettis \
+  >"$out_dir/policy_bad.log" 2>&1; then
+  echo "FAIL: bogus --layout-policy value was accepted" >&2
+  exit 1
+fi
+grep -q 'exttsp' "$out_dir/policy_bad.log" || {
+  echo "FAIL: bad --layout-policy error does not list valid policies" >&2
+  cat "$out_dir/policy_bad.log" >&2
+  exit 1
+}
+
+echo "== layout search smoke =="
+# Tiny-budget tournament: the JSON report must re-parse with our own
+# parser and carry the exttsp baseline, a winner, and the quantified
+# score-vs-cycles agreement.
+dune exec bin/propeller_stat.exe -- search -b 505.mcf -r 20 --budget 7 \
+  --json -o "$out_dir/search.json" >"$out_dir/search.log" || {
+  echo "FAIL: propeller_stat search exited non-zero" >&2
+  cat "$out_dir/search.log" >&2
+  exit 1
+}
+test -s "$out_dir/search.json" || { echo "FAIL: empty search.json" >&2; exit 1; }
+dune exec bin/propeller_inspect.exe -- validate "$out_dir/search.json" || {
+  echo "FAIL: search JSON rejected by propeller_inspect validate" >&2
+  exit 1
+}
+for key in '"winner_policy"' '"exttsp_po_cycles"' '"proxy_agreement"' '"entries"'; do
+  grep -q "$key" "$out_dir/search.json" || {
+    echo "FAIL: search JSON missing $key" >&2
+    exit 1
+  }
+done
+
 echo "== fault injection smoke =="
 # Seeded fault plans replay byte-identically: the same --faults plan and
 # seed print the same image digest and the same resilience line on every
@@ -332,9 +392,15 @@ grep -q '"micro"' "$out_dir/bench.json" || {
   echo "FAIL: bench JSON missing the micro kernel-timing object" >&2
   exit 1
 }
+# The informational layout_search object (schema v9) must ride along
+# too, with a strict win recorded against the Ext-TSP baseline.
+grep -q '"layout_search"' "$out_dir/bench.json" || {
+  echo "FAIL: bench JSON missing the layout_search tournament object" >&2
+  exit 1
+}
 scripts/bench_diff.sh bench/baseline.json "$out_dir/bench.json" 5 || {
   echo "FAIL: bench regression vs bench/baseline.json" >&2
   exit 1
 }
 
-echo "OK: build + tests + trace smoke + sampled smoke + fidelity smoke + fault smoke + fleet smoke + bench gate all green"
+echo "OK: build + tests + trace smoke + sampled smoke + fidelity smoke + policy smoke + search smoke + fault smoke + fleet smoke + bench gate all green"

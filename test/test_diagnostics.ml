@@ -97,15 +97,15 @@ let test_layout_exact () =
     Array.of_list (List.map (fun i -> blocks.(i).Linker.Binary.size) [ 0; 2; 1 ])
   in
   let edges = [ (0, 1, 5.0); (1, 2, 2.0) ] in
-  let expected = Layout.Exttsp.score ~sizes ~edges ~order:[ 0; 1; 2 ] () in
+  let p = Layout.Problem.make ~sizes ~weights:(Array.make 3 0.0) ~edges ~entry:0 in
+  let expected = Layout.Exttsp.score ~order:[ 0; 1; 2 ] p in
   check tb "exttsp matches direct score" true (abs_float (l.exttsp_score -. expected) < 1e-9);
   check tb "norm consistent" true (abs_float (l.exttsp_norm -. (expected /. 7.0)) < 1e-9);
   (* The fall-through component alone is worth 5.0. *)
   check tb "exttsp >= fall-through mass" true (l.exttsp_score >= 5.0 -. 1e-9);
   (* score_norm agrees with score / total weight on the same inputs. *)
   check tb "score_norm helper" true
-    (abs_float (Layout.Exttsp.score_norm ~sizes ~edges ~order:[ 0; 1; 2 ] () -. (expected /. 7.0))
-    < 1e-9)
+    (abs_float (Layout.Exttsp.score_norm ~order:[ 0; 1; 2 ] p -. (expected /. 7.0)) < 1e-9)
 
 (* Same seed => byte-identical diagnostics JSON: the property that makes
    a committed bench/baseline.json safe to diff against in CI. *)

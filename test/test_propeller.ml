@@ -153,7 +153,8 @@ let test_wpa_block_layout_hot_first () =
   let _, profile = run_with_profile ~requests:300 program binary in
   let dcfg = Propeller.Dcfg.build ~profile ~binary in
   let d = Hashtbl.find dcfg.funcs "main" in
-  let order, score = Propeller.Wpa.block_layout dcfg d in
+  let { Propeller.Wpa.blocks = order; score; policy } = Propeller.Wpa.block_layout dcfg d in
+  check ts "default policy reported" "exttsp" policy;
   check tb "entry first" true (List.hd order = 0);
   check tb "positive score" true (score > 0.0);
   check tb "loop body adjacent to entry" true
@@ -377,6 +378,48 @@ let test_sampled_jobs_invariance () =
   check tb "sampled digest identical for jobs 1/4" true
     (Support.Digesting.equal (run 1) (run 4))
 
+(* --- layout policies (ISSUE 10) ----------------------------------- *)
+
+(* Non-default policies must stay deterministic through the full relink:
+   the same seed and program give a byte-identical image at any
+   parallelism, for every registered policy. The stochastic policies
+   (hillclimb, local-search) are the interesting cases — their RNG must
+   be derived from the policy seed, never from worker identity. *)
+let test_policy_jobs_invariance () =
+  let spec, program = medium_program () in
+  let digest policy jobs =
+    Support.Pool.with_pool ~jobs (fun pool ->
+        let env = Buildsys.Driver.make_env ~ctx:(Support.Ctx.create ~pool ()) () in
+        let r =
+          Propeller.Pipeline.run
+            ~config:
+              {
+                Propeller.Pipeline.default_config with
+                profile_run = { Exec.Interp.default_config with requests = spec.requests };
+                wpa = { Propeller.Wpa.default_config with layout_policy = policy };
+              }
+            ~env ~program ~name:("pol." ^ policy) ()
+        in
+        Linker.Binary.image_digest (Propeller.Pipeline.optimized_binary r))
+  in
+  List.iter
+    (fun policy ->
+      check tb (policy ^ " digest identical for jobs 1/4") true
+        (Support.Digesting.equal (digest policy 1) (digest policy 4)))
+    [ "greedy"; "hillclimb"; "local-search" ]
+
+let test_policy_unknown_rejected () =
+  let _, _, _, result = Lazy.force (fixture) in
+  try
+    ignore
+      (Propeller.Wpa.analyze
+         ~config:{ Propeller.Wpa.default_config with layout_policy = "nope" }
+         ~profile:(Propeller.Wpa.Lbr result.profile) ~binary:result.metadata_build.binary ());
+    Alcotest.fail "expected rejection of unknown layout policy"
+  with Invalid_argument msg ->
+    check tb "error names the registry" true
+      (String.length msg > 0 && String.exists (fun c -> c = 'e') msg)
+
 let test_autofdo_synthesis_sane () =
   let _, program, run = Lazy.force sampled_fixture in
   let r = run () in
@@ -477,6 +520,8 @@ let suite =
     Alcotest.test_case "sampled: pipeline shape" `Quick test_sampled_pipeline_shape;
     Alcotest.test_case "sampled: deterministic relink" `Quick test_sampled_pipeline_deterministic;
     Alcotest.test_case "sampled: jobs invariance" `Quick test_sampled_jobs_invariance;
+    Alcotest.test_case "policy: jobs invariance" `Slow test_policy_jobs_invariance;
+    Alcotest.test_case "policy: unknown rejected" `Quick test_policy_unknown_rejected;
     Alcotest.test_case "autofdo: synthesis sane" `Quick test_autofdo_synthesis_sane;
     Alcotest.test_case "autofdo: requires metadata" `Quick test_autofdo_requires_metadata;
   ]
